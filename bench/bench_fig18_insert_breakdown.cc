@@ -1,0 +1,42 @@
+// Figure 18: PINT/PIMT time breakdown for insert propagation to the XMark
+// views Q1, Q3 and Q6 on a (scaled) 10 MB document, across the five update
+// classes. Reproduces the paper's observation that Find Target Nodes
+// dominates Compute Delta Tables / Get Update Expression / Execute Update,
+// and that Update Lattice tracks view complexity more than update class.
+
+#include "bench_util.h"
+
+namespace xvm::bench {
+namespace {
+
+void Run() {
+  PrintBanner("Figure 18",
+              "Insert propagation breakdown (views Q1/Q3/Q6, 10 MB doc)");
+  const size_t bytes = ScaledBytes(10 * 1024);
+  const std::vector<std::pair<std::string, std::vector<std::string>>> plan = {
+      {"Q1", {"X1_L", "A6_A", "A7_O", "A8_AO", "B7_LB"}},
+      {"Q3", {"B3_LB", "X2_L", "X3_A", "X4_O", "X5_AO"}},
+      {"Q6", {"B1_A", "B5_LB", "E6_L", "X7_O", "X8_AO"}},
+  };
+  for (const auto& [view, updates] : plan) {
+    std::printf("--- view %s ---\n", view.c_str());
+    PrintPhaseHeader();
+    for (const auto& uname : updates) {
+      auto u = FindXMarkUpdate(uname);
+      XVM_CHECK(u.ok());
+      UpdateOutcome out = Averaged(Reps(), [&] {
+        return RunMaintained(view, bytes, MakeInsertStmt(*u),
+                             LatticeStrategy::kSnowcaps);
+      });
+      PrintPhaseRow(view + "_" + uname, out.timing);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xvm::bench
+
+int main() {
+  xvm::bench::Run();
+  return 0;
+}

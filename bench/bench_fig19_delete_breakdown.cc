@@ -1,0 +1,42 @@
+// Figure 19: PDDT/MT time breakdown for delete propagation to the XMark
+// views Q1, Q3 and Q6 on a (scaled) 10 MB document. The paper's shape:
+// Get Update Expression is smaller than for inserts (deletion pruning is
+// faster), and Execute Update grows with the number of deleted targets and
+// with PDMT work on val/cont-annotated views.
+
+#include "bench_util.h"
+
+namespace xvm::bench {
+namespace {
+
+void Run() {
+  PrintBanner("Figure 19",
+              "Delete propagation breakdown (views Q1/Q3/Q6, 10 MB doc)");
+  const size_t bytes = ScaledBytes(10 * 1024);
+  const std::vector<std::pair<std::string, std::vector<std::string>>> plan = {
+      {"Q1", {"X1_L", "A6_A", "A7_O", "A8_AO", "B7_LB"}},
+      {"Q3", {"B3_LB", "X2_L", "X3_A", "X4_O", "X5_AO"}},
+      {"Q6", {"B1_A", "B5_LB", "E6_L", "X7_O", "X8_AO"}},
+  };
+  for (const auto& [view, updates] : plan) {
+    std::printf("--- view %s ---\n", view.c_str());
+    PrintPhaseHeader();
+    for (const auto& uname : updates) {
+      auto u = FindXMarkUpdate(uname);
+      XVM_CHECK(u.ok());
+      UpdateOutcome out = Averaged(Reps(), [&] {
+        return RunMaintained(view, bytes, MakeDeleteStmt(*u),
+                             LatticeStrategy::kSnowcaps);
+      });
+      PrintPhaseRow(view + "_" + uname, out.timing);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xvm::bench
+
+int main() {
+  xvm::bench::Run();
+  return 0;
+}

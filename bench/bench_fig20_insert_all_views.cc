@@ -1,0 +1,32 @@
+// Figure 20: total PINT running time for all 35 XMark (view, update) pairs
+// on a (scaled) 10 MB document.
+
+#include "bench_util.h"
+
+namespace xvm::bench {
+namespace {
+
+void Run() {
+  PrintBanner("Figure 20",
+              "View insert performance, all views (35 pairs, 10 MB doc)");
+  const size_t bytes = ScaledBytes(10 * 1024);
+  std::printf("%-16s %12s\n", "pair", "total_ms");
+  for (const auto& [view, uname] : XMarkViewUpdatePairs()) {
+    auto u = FindXMarkUpdate(uname);
+    XVM_CHECK(u.ok());
+    UpdateOutcome out = Averaged(Reps(), [&] {
+      return RunMaintained(view, bytes, MakeInsertStmt(*u),
+                           LatticeStrategy::kSnowcaps);
+    });
+    std::printf("%-16s %12.3f\n", (view + "_" + uname).c_str(),
+                out.timing.TotalMs());
+  }
+}
+
+}  // namespace
+}  // namespace xvm::bench
+
+int main() {
+  xvm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figures 22 & 23: deletion update X1_L of varying path depth against the
+// fixed view Q1, on 100 KB and 10 MB documents. The paper's shape: total
+// maintenance time *decreases* as the update path lengthens — shorter paths
+// delete more nodes, so more Δ− tables are non-empty and more data moves.
+
+#include "bench_util.h"
+
+namespace xvm::bench {
+namespace {
+
+void RunOne(const std::string& figure, size_t paper_kb) {
+  PrintBanner(figure, "Deletion X1_L of varying depth vs view Q1 (" +
+                          std::to_string(paper_kb) + " KB doc)");
+  const size_t bytes = ScaledBytes(paper_kb);
+  const std::vector<std::string> paths = {
+      "/site",
+      "/site/people",
+      "/site/people/person",
+      "/site/people/person/@id",
+      "/site/people/person/name",
+  };
+  std::printf("%-30s %12s %12s\n", "path", "total_ms", "nodes_deleted");
+  for (const auto& path : paths) {
+    size_t deleted = 0;
+    UpdateOutcome out = Averaged(Reps(), [&] {
+      UpdateOutcome o = RunMaintained("Q1", bytes, UpdateStmt::Delete(path),
+                                      LatticeStrategy::kSnowcaps);
+      deleted = o.nodes_deleted;
+      return o;
+    });
+    std::printf("%-30s %12.3f %12zu\n", path.c_str(), out.timing.TotalMs(),
+                deleted);
+  }
+}
+
+}  // namespace
+}  // namespace xvm::bench
+
+int main() {
+  xvm::bench::RunOne("Figure 22", 100);
+  xvm::bench::RunOne("Figure 23", 10 * 1024);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figures 29-32: Snowcaps versus Leaves lattice strategies for views Q4 and
+// Q6 across document sizes. Figures 29/30 plot total maintenance time
+// (evaluate terms + update auxiliary structures); Figures 31/32 split the
+// two components: (R) time to evaluate the terms, (U) time to update the
+// materialized structures. The paper's shape: Snowcaps beats Leaves overall;
+// the gap narrows as the number of snowcap tuples grows (Q4 vs Q6).
+
+#include "bench_util.h"
+
+namespace xvm::bench {
+namespace {
+
+void RunView(const std::string& figure_total, const std::string& figure_split,
+             const std::string& view) {
+  auto u = FindXMarkUpdate(view == "Q4" ? "X2_L" : "E6_L");
+  XVM_CHECK(u.ok());
+  const std::vector<size_t> paper_kb = {1000, 5000, 10 * 1024, 20 * 1024};
+
+  PrintBanner(figure_total + " / " + figure_split,
+              "Snowcaps vs Leaves (view " + view + "), insert " + u->name);
+  std::printf("%-10s %12s %12s %12s %12s %12s %12s\n", "doc_kb",
+              "sc_eval_R", "sc_update_U", "sc_total", "lv_eval_R",
+              "lv_update_U", "lv_total");
+  for (size_t kb : paper_kb) {
+    auto measure = [&](LatticeStrategy s) {
+      return Averaged(Reps(), [&] {
+        return RunMaintained(view, ScaledBytes(kb), MakeInsertStmt(*u), s);
+      });
+    };
+    UpdateOutcome sc = measure(LatticeStrategy::kSnowcaps);
+    UpdateOutcome lv = measure(LatticeStrategy::kLeaves);
+    // (R) = term evaluation = ExecuteUpdate; (U) = UpdateLattice.
+    double sc_r = sc.timing.Get(phase::kExecuteUpdate);
+    double sc_u = sc.timing.Get(phase::kUpdateLattice);
+    double lv_r = lv.timing.Get(phase::kExecuteUpdate);
+    double lv_u = lv.timing.Get(phase::kUpdateLattice);
+    std::printf("%-10zu %12.3f %12.3f %12.3f %12.3f %12.3f %12.3f\n", kb,
+                sc_r, sc_u, sc_r + sc_u, lv_r, lv_u, lv_r + lv_u);
+  }
+}
+
+}  // namespace
+}  // namespace xvm::bench
+
+int main() {
+  xvm::bench::RunView("Figure 29", "Figure 31", "Q4");
+  xvm::bench::RunView("Figure 30", "Figure 32", "Q6");
+  return 0;
+}

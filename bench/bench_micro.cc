@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// substrates: dynamic order keys, structural ID operations, the stack-based
+// structural join, tree-pattern evaluation and delta extraction. These are
+// not paper figures; they guard the constants behind them.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/operators.h"
+#include "common/rng.h"
+#include "pattern/compile.h"
+#include "update/delta.h"
+#include "xmark/generator.h"
+#include "xmark/views.h"
+
+namespace xvm {
+namespace {
+
+void BM_OrdKeyAfterChain(benchmark::State& state) {
+  for (auto _ : state) {
+    OrdKey k = OrdKey::First();
+    for (int i = 0; i < 100; ++i) k = OrdKey::After(k);
+    benchmark::DoNotOptimize(k);
+  }
+}
+BENCHMARK(BM_OrdKeyAfterChain);
+
+void BM_OrdKeyBetweenPathological(benchmark::State& state) {
+  for (auto _ : state) {
+    OrdKey lo = OrdKey::First();
+    OrdKey hi = OrdKey::After(lo);
+    for (int i = 0; i < 50; ++i) hi = OrdKey::Between(lo, hi);
+    benchmark::DoNotOptimize(hi);
+  }
+}
+BENCHMARK(BM_OrdKeyBetweenPathological);
+
+void BM_DeweyIsAncestor(benchmark::State& state) {
+  std::vector<DeweyStep> steps;
+  for (int i = 0; i < 12; ++i) steps.push_back({LabelId(i), OrdKey({i})});
+  DeweyId deep{std::vector<DeweyStep>(steps)};
+  DeweyId anc = deep.AncestorAtDepth(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anc.IsAncestorOf(deep));
+  }
+}
+BENCHMARK(BM_DeweyIsAncestor);
+
+void BM_DeweyEncodeDecode(benchmark::State& state) {
+  std::vector<DeweyStep> steps;
+  for (int i = 0; i < 8; ++i) steps.push_back({LabelId(i * 7), OrdKey({i})});
+  DeweyId id{std::move(steps)};
+  for (auto _ : state) {
+    std::string enc = id.Encode();
+    DeweyId back;
+    DeweyId::Decode(enc, &back);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_DeweyEncodeDecode);
+
+/// Random two-level relation pair for structural-join scaling.
+void BM_StructuralJoin(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  Relation outer, inner;
+  outer.schema.Add({"a.ID", ValueKind::kId});
+  inner.schema.Add({"b.ID", ValueKind::kId});
+  DeweyId root = DeweyId::Root(0);
+  OrdKey ord = OrdKey::First();
+  for (int i = 0; i < n; ++i) {
+    DeweyId a = root.Child(1, ord);
+    outer.rows.push_back({Value(a)});
+    OrdKey inner_ord = OrdKey::First();
+    for (int j = 0; j < 4; ++j) {
+      inner.rows.push_back({Value(a.Child(2, inner_ord))});
+      inner_ord = OrdKey::After(inner_ord);
+    }
+    ord = OrdKey::After(ord);
+  }
+  for (auto _ : state) {
+    Relation out = StructuralJoin(outer, 0, inner, 0, Axis::kDescendant);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * (n + 4 * n));
+}
+BENCHMARK(BM_StructuralJoin)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_PatternEvalQ1(benchmark::State& state) {
+  Document doc;
+  GenerateXMark(XMarkConfig{static_cast<size_t>(state.range(0)) * 1024, 7},
+                &doc);
+  StoreIndex store(&doc);
+  store.Build();
+  auto def = XMarkView("Q1");
+  const TreePattern& pat = def->pattern();
+  for (auto _ : state) {
+    auto result = EvalViewWithCounts(pat, StoreLeafSource(&store, &pat));
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PatternEvalQ1)->Arg(100)->Arg(1000);
+
+void BM_DeltaPlusExtraction(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Document doc;
+    GenerateXMark(XMarkConfig{64 * 1024, 7}, &doc);
+    UpdateStmt u = UpdateStmt::InsertForest(
+        "/site/people/person", "<name>n<name>x</name><name>y</name></name>");
+    auto pul = ComputePul(doc, u);
+    ApplyResult applied = ApplyPul(&doc, *pul, nullptr);
+    state.ResumeTiming();
+    DeltaTables delta = ComputeDeltaPlus(doc, applied);
+    benchmark::DoNotOptimize(delta);
+  }
+}
+BENCHMARK(BM_DeltaPlusExtraction);
+
+void BM_XMarkGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    Document doc;
+    GenerateXMark(XMarkConfig{static_cast<size_t>(state.range(0)) * 1024, 7},
+                  &doc);
+    benchmark::DoNotOptimize(doc.num_alive());
+  }
+}
+BENCHMARK(BM_XMarkGeneration)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace xvm
+
+BENCHMARK_MAIN();

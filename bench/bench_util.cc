@@ -1,0 +1,92 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace xvm::bench {
+
+double Scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("XVM_SCALE");
+    if (env == nullptr) return 0.25;
+    double v = std::atof(env);
+    return v > 0 ? v : 0.25;
+  }();
+  return scale;
+}
+
+int Reps() {
+  static const int reps = [] {
+    const char* env = std::getenv("XVM_REPS");
+    if (env == nullptr) return 3;
+    int v = std::atoi(env);
+    return v > 0 ? v : 3;
+  }();
+  return reps;
+}
+
+size_t ScaledBytes(size_t paper_kb) {
+  double bytes = static_cast<double>(paper_kb) * 1024.0 * Scale();
+  return std::max<size_t>(static_cast<size_t>(bytes), 16 * 1024);
+}
+
+Workbench MakeXMark(size_t bytes, uint64_t seed) {
+  Workbench wb;
+  wb.doc = std::make_unique<Document>();
+  GenerateXMark(XMarkConfig{bytes, seed}, wb.doc.get());
+  wb.store = std::make_unique<StoreIndex>(wb.doc.get());
+  wb.store->Build();
+  return wb;
+}
+
+UpdateOutcome RunMaintained(const std::string& view_name, size_t bytes,
+                            const UpdateStmt& stmt, LatticeStrategy strategy,
+                            uint64_t seed) {
+  Workbench wb = MakeXMark(bytes, seed);
+  auto def = XMarkView(view_name);
+  XVM_CHECK(def.ok());
+  MaintainedView mv(std::move(def).value(), wb.store.get(), strategy);
+  mv.Initialize();
+  auto out = mv.ApplyAndPropagate(wb.doc.get(), stmt);
+  XVM_CHECK(out.ok());
+  return std::move(out).value();
+}
+
+UpdateOutcome RunRecompute(const std::string& view_name, size_t bytes,
+                           const UpdateStmt& stmt, uint64_t seed) {
+  Workbench wb = MakeXMark(bytes, seed);
+  auto def = XMarkView(view_name);
+  XVM_CHECK(def.ok());
+  RecomputedView rv(std::move(def).value(), wb.store.get());
+  rv.Initialize();
+  auto out = rv.ApplyAndRecompute(wb.doc.get(), stmt);
+  XVM_CHECK(out.ok());
+  return std::move(out).value();
+}
+
+void PrintBanner(const std::string& figure, const std::string& description) {
+  std::printf("\n==== %s ====\n%s\n", figure.c_str(), description.c_str());
+  std::printf("(scale=%.3g, reps=%d; XVM_SCALE=1 for the paper's sizes)\n\n",
+              Scale(), Reps());
+}
+
+void PrintPhaseHeader() {
+  std::printf("%-22s %12s %12s %12s %12s %12s %12s\n", "case",
+              "find_tgt_ms", "deltas_ms", "get_expr_ms", "exec_upd_ms",
+              "upd_latt_ms", "total_ms");
+}
+
+void PrintPhaseRow(const std::string& label, const PhaseTimer& timing) {
+  std::printf("%-22s %12.3f %12.3f %12.3f %12.3f %12.3f %12.3f\n",
+              label.c_str(), timing.Get(phase::kFindTargets),
+              timing.Get(phase::kComputeDeltas),
+              timing.Get(phase::kGetExpression),
+              timing.Get(phase::kExecuteUpdate),
+              timing.Get(phase::kUpdateLattice), timing.TotalMs());
+}
+
+void PrintKv(const std::string& key, double value_ms) {
+  std::printf("%-40s %12.3f ms\n", key.c_str(), value_ms);
+}
+
+}  // namespace xvm::bench

@@ -1,0 +1,77 @@
+#ifndef XVM_BENCH_BENCH_UTIL_H_
+#define XVM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/recompute.h"
+#include "store/canonical.h"
+#include "update/update.h"
+#include "view/maintain.h"
+#include "xmark/generator.h"
+#include "xmark/updates.h"
+#include "xmark/views.h"
+#include "xml/document.h"
+
+namespace xvm::bench {
+
+/// Global size multiplier for document sizes, from the XVM_SCALE environment
+/// variable (default 0.25). The paper's figures use 100 KB – 50 MB XMark
+/// documents; the default scale keeps the whole harness to a few minutes.
+/// Run with XVM_SCALE=1 to reproduce the paper's nominal sizes.
+double Scale();
+
+/// Repetitions per measurement (XVM_REPS, default 3; the paper averaged 5).
+int Reps();
+
+/// paper_kb scaled by Scale(), in bytes, with a small floor.
+size_t ScaledBytes(size_t paper_kb);
+
+/// A generated document with its store.
+struct Workbench {
+  std::unique_ptr<Document> doc;
+  std::unique_ptr<StoreIndex> store;
+};
+
+Workbench MakeXMark(size_t bytes, uint64_t seed = 7);
+
+/// One measured maintenance run: fresh document, initialized view, one
+/// statement propagated. Returns the outcome (with the five-phase timing).
+UpdateOutcome RunMaintained(const std::string& view_name, size_t bytes,
+                            const UpdateStmt& stmt, LatticeStrategy strategy,
+                            uint64_t seed = 7);
+
+/// Same but measures the full-recomputation baseline.
+UpdateOutcome RunRecompute(const std::string& view_name, size_t bytes,
+                           const UpdateStmt& stmt, uint64_t seed = 7);
+
+/// Averages outcomes of `reps` runs of `fn`.
+template <typename Fn>
+UpdateOutcome Averaged(int reps, Fn&& fn) {
+  UpdateOutcome total;
+  for (int i = 0; i < reps; ++i) {
+    UpdateOutcome one = fn();
+    total.timing.Merge(one.timing);
+    total.stats = one.stats;
+    total.nodes_inserted = one.nodes_inserted;
+    total.nodes_deleted = one.nodes_deleted;
+  }
+  PhaseTimer averaged;
+  for (const auto& [name, ms] : total.timing.phases()) {
+    averaged.Add(name, ms / reps);
+  }
+  total.timing = averaged;
+  return total;
+}
+
+/// Figure-style output: a header banner and aligned rows.
+void PrintBanner(const std::string& figure, const std::string& description);
+void PrintPhaseHeader();
+void PrintPhaseRow(const std::string& label, const PhaseTimer& timing);
+void PrintKv(const std::string& key, double value_ms);
+
+}  // namespace xvm::bench
+
+#endif  // XVM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,86 @@
+// The paper's own running example (Figures 3 & 4): a conference-publication
+// database with the view
+//
+//   for $p in doc("confs")//confs//paper, $a in $p/affiliation
+//   return <result><pid>{id($p)}</pid><aid>{id($a)}</aid>
+//                  <acont>{$a}</acont></result>
+//
+// expressed as the tree pattern  //confs(//paper{id}(/affiliation{id,cont}))
+// with the algebraic semantics
+//   s(δ(π_{paper.ID, affiliation.ID, affiliation.cont}(
+//       σ_{confs ≺≺ paper ∧ paper ≺ affiliation}(R_confs × R_paper × R_aff))))
+//
+// The example also shows ID-driven pruning (Prop. 3.8) in action: inserting
+// an affiliation under an existing paper evaluates only one union term.
+
+#include <cstdio>
+
+#include "store/canonical.h"
+#include "view/maintain.h"
+#include "xml/parser.h"
+
+using namespace xvm;
+
+namespace {
+
+void Show(const MaintainedView& mv, const char* moment) {
+  std::printf("== %s: %zu result tuple(s) ==\n", moment, mv.view().size());
+  for (const auto& ct : mv.view().Snapshot()) {
+    std::printf("  pid=%s aid=%s acont=%s\n", ct.tuple[0].ToString().c_str(),
+                ct.tuple[1].ToString().c_str(),
+                ct.tuple[2].ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  Document doc;
+  Status st = ParseDocument(
+      "<confs>"
+      "  <conf name=\"EDBT\">"
+      "    <paper><title>Algebraic XML view maintenance</title>"
+      "      <affiliation>Inria</affiliation>"
+      "      <affiliation>Strathclyde</affiliation>"
+      "    </paper>"
+      "    <paper><title>Structural joins</title>"
+      "      <affiliation>Michigan</affiliation>"
+      "    </paper>"
+      "  </conf>"
+      "</confs>",
+      &doc);
+  XVM_CHECK(st.ok());
+  StoreIndex store(&doc);
+  store.Build();
+
+  auto def = ViewDefinition::Create(
+      "pubs", "//confs{id}(//paper{id}(/affiliation{id,cont}))");
+  XVM_CHECK(def.ok());
+  MaintainedView mv(std::move(def).value(), &store,
+                    LatticeStrategy::kSnowcaps);
+  mv.Initialize();
+  Show(mv, "initial view");
+
+  // Statement-level update: every paper gains a new affiliation. The 2^k-1
+  // union-term expression is pruned down by Prop. 3.3 (update-independent),
+  // Prop. 3.6 (no new confs/paper nodes) and Prop. 3.8 (anchors lie under
+  // paper), leaving a single term: R_confs R_paper Δ+_affiliation.
+  auto out = mv.ApplyAndPropagate(
+      &doc, UpdateStmt::InsertForest("//paper",
+                                     "<affiliation>Basilicata</affiliation>"));
+  XVM_CHECK(out.ok());
+  std::printf("\nunion terms: %zu considered, %zu pruned by the data-driven "
+              "criteria, %zu evaluated\n\n",
+              out->stats.terms_considered, out->stats.terms_pruned_data,
+              out->stats.terms_evaluated);
+  Show(mv, "after inserting affiliations");
+
+  // Deleting a whole paper removes its tuples via PDDT; the Δ− tables are
+  // extracted from the pending update list before the subtree disappears.
+  auto out2 = mv.ApplyAndPropagate(
+      &doc, UpdateStmt::Delete("//paper[title=\"Structural joins\"]"));
+  XVM_CHECK(out2.ok());
+  std::printf("\n");
+  Show(mv, "after deleting the structural-joins paper");
+  return 0;
+}

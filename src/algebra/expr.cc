@@ -1,0 +1,101 @@
+#include "algebra/expr.h"
+
+namespace xvm {
+
+namespace {
+
+class ColEqualsConstPred : public Predicate {
+ public:
+  ColEqualsConstPred(int col, std::string value)
+      : col_(col), value_(std::move(value)) {}
+  bool Eval(const Tuple& t) const override {
+    const Value& v = t[static_cast<size_t>(col_)];
+    return v.kind() == ValueKind::kString && v.str() == value_;
+  }
+  std::string ToString() const override {
+    return "$" + std::to_string(col_) + " = \"" + value_ + "\"";
+  }
+
+ private:
+  int col_;
+  std::string value_;
+};
+
+class ColsEqualPred : public Predicate {
+ public:
+  ColsEqualPred(int a, int b) : a_(a), b_(b) {}
+  bool Eval(const Tuple& t) const override {
+    return t[static_cast<size_t>(a_)] == t[static_cast<size_t>(b_)];
+  }
+  std::string ToString() const override {
+    return "$" + std::to_string(a_) + " = $" + std::to_string(b_);
+  }
+
+ private:
+  int a_, b_;
+};
+
+class StructuralPred : public Predicate {
+ public:
+  StructuralPred(int a, int b, bool parent) : a_(a), b_(b), parent_(parent) {}
+  bool Eval(const Tuple& t) const override {
+    const Value& va = t[static_cast<size_t>(a_)];
+    const Value& vb = t[static_cast<size_t>(b_)];
+    if (va.kind() != ValueKind::kId || vb.kind() != ValueKind::kId) {
+      return false;
+    }
+    return parent_ ? va.id().IsParentOf(vb.id()) : va.id().IsAncestorOf(vb.id());
+  }
+  std::string ToString() const override {
+    return "$" + std::to_string(a_) + (parent_ ? " pre " : " anc ") + "$" +
+           std::to_string(b_);
+  }
+
+ private:
+  int a_, b_;
+  bool parent_;
+};
+
+class AndPred : public Predicate {
+ public:
+  explicit AndPred(std::vector<PredicatePtr> preds)
+      : preds_(std::move(preds)) {}
+  bool Eval(const Tuple& t) const override {
+    for (const auto& p : preds_) {
+      if (!p->Eval(t)) return false;
+    }
+    return true;
+  }
+  std::string ToString() const override {
+    if (preds_.empty()) return "true";
+    std::string out;
+    for (size_t i = 0; i < preds_.size(); ++i) {
+      if (i > 0) out += " and ";
+      out += preds_[i]->ToString();
+    }
+    return out;
+  }
+
+ private:
+  std::vector<PredicatePtr> preds_;
+};
+
+}  // namespace
+
+PredicatePtr ColEqualsConst(int col, std::string value) {
+  return std::make_unique<ColEqualsConstPred>(col, std::move(value));
+}
+PredicatePtr ColsEqual(int a, int b) {
+  return std::make_unique<ColsEqualPred>(a, b);
+}
+PredicatePtr ColIsParentOf(int a, int b) {
+  return std::make_unique<StructuralPred>(a, b, /*parent=*/true);
+}
+PredicatePtr ColIsAncestorOf(int a, int b) {
+  return std::make_unique<StructuralPred>(a, b, /*parent=*/false);
+}
+PredicatePtr And(std::vector<PredicatePtr> preds) {
+  return std::make_unique<AndPred>(std::move(preds));
+}
+
+}  // namespace xvm

@@ -1,0 +1,43 @@
+#ifndef XVM_ALGEBRA_EXPR_H_
+#define XVM_ALGEBRA_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/value.h"
+
+namespace xvm {
+
+/// Selection predicates of the paper's algebra A (§2.2): conjunctions of
+/// atoms of the form `a θ c` (value comparison with a constant) and
+/// `a θ b` with θ ∈ {=, ≺, ≺≺} (equality / parent / ancestor between two
+/// ID columns).
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+  /// Evaluates against a tuple.
+  virtual bool Eval(const Tuple& t) const = 0;
+  virtual std::string ToString() const = 0;
+};
+
+using PredicatePtr = std::unique_ptr<Predicate>;
+
+/// t[col] (a string column) equals the constant `value`.
+PredicatePtr ColEqualsConst(int col, std::string value);
+
+/// t[a] == t[b] (generic value equality).
+PredicatePtr ColsEqual(int a, int b);
+
+/// t[a] ≺ t[b]: the node of ID column `a` is the parent of column `b`.
+PredicatePtr ColIsParentOf(int a, int b);
+
+/// t[a] ≺≺ t[b]: column `a` is a proper ancestor of column `b`.
+PredicatePtr ColIsAncestorOf(int a, int b);
+
+/// Conjunction; empty conjunction is true.
+PredicatePtr And(std::vector<PredicatePtr> preds);
+
+}  // namespace xvm
+
+#endif  // XVM_ALGEBRA_EXPR_H_

@@ -1,0 +1,177 @@
+#include "algebra/iterator.h"
+
+#include "common/status.h"
+
+namespace xvm {
+
+namespace {
+
+class RelationScanIt : public TupleIterator {
+ public:
+  RelationScanIt(const StoreIndex* store, LabelId label,
+                 std::string col_prefix, ScanAttrs attrs)
+      : store_(store), label_(label), attrs_(attrs) {
+    schema_.Add({col_prefix + ".ID", ValueKind::kId});
+    if (attrs_.val) schema_.Add({col_prefix + ".val", ValueKind::kString});
+    if (attrs_.cont) schema_.Add({col_prefix + ".cont", ValueKind::kString});
+  }
+
+  const Schema& schema() const override { return schema_; }
+
+  void Open() override { pos_ = 0; }
+
+  bool Next(Tuple* out) override {
+    const auto& nodes = store_->Relation(label_).nodes();
+    if (pos_ >= nodes.size()) return false;
+    NodeHandle h = nodes[pos_++];
+    const Document& doc = store_->doc();
+    out->clear();
+    out->emplace_back(doc.node(h).id);
+    if (attrs_.val) out->emplace_back(doc.StringValue(h));
+    if (attrs_.cont) out->emplace_back(doc.Content(h));
+    return true;
+  }
+
+  void Close() override {}
+
+ private:
+  const StoreIndex* store_;
+  LabelId label_;
+  ScanAttrs attrs_;
+  Schema schema_;
+  size_t pos_ = 0;
+};
+
+class VectorScanIt : public TupleIterator {
+ public:
+  explicit VectorScanIt(Relation rel) : rel_(std::move(rel)) {}
+
+  const Schema& schema() const override { return rel_.schema; }
+  void Open() override { pos_ = 0; }
+  bool Next(Tuple* out) override {
+    if (pos_ >= rel_.rows.size()) return false;
+    *out = rel_.rows[pos_++];
+    return true;
+  }
+  void Close() override {}
+
+ private:
+  Relation rel_;
+  size_t pos_ = 0;
+};
+
+class FilterIt : public TupleIterator {
+ public:
+  FilterIt(TupleIteratorPtr child, PredicatePtr pred)
+      : child_(std::move(child)), pred_(std::move(pred)) {}
+
+  const Schema& schema() const override { return child_->schema(); }
+  void Open() override { child_->Open(); }
+  bool Next(Tuple* out) override {
+    while (child_->Next(out)) {
+      if (pred_->Eval(*out)) return true;
+    }
+    return false;
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  TupleIteratorPtr child_;
+  PredicatePtr pred_;
+};
+
+class ProjectionIt : public TupleIterator {
+ public:
+  ProjectionIt(TupleIteratorPtr child, std::vector<int> cols)
+      : child_(std::move(child)), cols_(std::move(cols)) {
+    for (int c : cols_) {
+      XVM_CHECK(c >= 0 && static_cast<size_t>(c) < child_->schema().size());
+      schema_.Add(child_->schema().col(static_cast<size_t>(c)));
+    }
+  }
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override { child_->Open(); }
+  bool Next(Tuple* out) override {
+    Tuple in;
+    if (!child_->Next(&in)) return false;
+    out->clear();
+    out->reserve(cols_.size());
+    for (int c : cols_) out->push_back(std::move(in[static_cast<size_t>(c)]));
+    return true;
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  TupleIteratorPtr child_;
+  std::vector<int> cols_;
+  Schema schema_;
+};
+
+class UnionAllIt : public TupleIterator {
+ public:
+  explicit UnionAllIt(std::vector<TupleIteratorPtr> children)
+      : children_(std::move(children)) {
+    XVM_CHECK(!children_.empty());
+    for (const auto& c : children_) {
+      XVM_CHECK(c->schema().size() == children_[0]->schema().size());
+    }
+  }
+
+  const Schema& schema() const override { return children_[0]->schema(); }
+  void Open() override {
+    for (auto& c : children_) c->Open();
+    current_ = 0;
+  }
+  bool Next(Tuple* out) override {
+    while (current_ < children_.size()) {
+      if (children_[current_]->Next(out)) return true;
+      ++current_;
+    }
+    return false;
+  }
+  void Close() override {
+    for (auto& c : children_) c->Close();
+  }
+
+ private:
+  std::vector<TupleIteratorPtr> children_;
+  size_t current_ = 0;
+};
+
+}  // namespace
+
+TupleIteratorPtr MakeRelationScan(const StoreIndex* store, LabelId label,
+                                  std::string col_prefix, ScanAttrs attrs) {
+  return std::make_unique<RelationScanIt>(store, label, std::move(col_prefix),
+                                          attrs);
+}
+
+TupleIteratorPtr MakeVectorScan(Relation rel) {
+  return std::make_unique<VectorScanIt>(std::move(rel));
+}
+
+TupleIteratorPtr MakeFilter(TupleIteratorPtr child, PredicatePtr pred) {
+  return std::make_unique<FilterIt>(std::move(child), std::move(pred));
+}
+
+TupleIteratorPtr MakeProjection(TupleIteratorPtr child,
+                                std::vector<int> cols) {
+  return std::make_unique<ProjectionIt>(std::move(child), std::move(cols));
+}
+
+TupleIteratorPtr MakeUnionAll(std::vector<TupleIteratorPtr> children) {
+  return std::make_unique<UnionAllIt>(std::move(children));
+}
+
+Relation Drain(TupleIterator* it) {
+  Relation out;
+  out.schema = it->schema();
+  it->Open();
+  Tuple t;
+  while (it->Next(&t)) out.rows.push_back(std::move(t));
+  it->Close();
+  return out;
+}
+
+}  // namespace xvm

@@ -1,0 +1,58 @@
+#ifndef XVM_ALGEBRA_ITERATOR_H_
+#define XVM_ALGEBRA_ITERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "algebra/operators.h"
+#include "algebra/value.h"
+#include "store/canonical.h"
+
+namespace xvm {
+
+/// Volcano-style pull iterator over tuples. Pipelineable operators (scan,
+/// filter, projection, union) stream through this interface; pipeline
+/// breakers (sort, joins, duplicate elimination) exchange materialized
+/// Relations (see operators.h) as is idiomatic for bulk algebraic engines.
+///
+/// Contract: Open() before the first Next(); Next() returns false at end of
+/// stream (and stays false); Close() releases resources and may be called
+/// at any point after Open().
+class TupleIterator {
+ public:
+  virtual ~TupleIterator() = default;
+
+  virtual const Schema& schema() const = 0;
+  virtual void Open() = 0;
+  virtual bool Next(Tuple* out) = 0;
+  virtual void Close() = 0;
+};
+
+using TupleIteratorPtr = std::unique_ptr<TupleIterator>;
+
+/// Streams a canonical relation as "<prefix>.ID"[, ".val"][, ".cont"]
+/// columns in document order, materializing val/cont lazily per tuple.
+TupleIteratorPtr MakeRelationScan(const StoreIndex* store, LabelId label,
+                                  std::string col_prefix, ScanAttrs attrs);
+
+/// Streams an already-materialized relation (rows are copied on demand).
+TupleIteratorPtr MakeVectorScan(Relation rel);
+
+/// σ: forwards tuples satisfying `pred`.
+TupleIteratorPtr MakeFilter(TupleIteratorPtr child, PredicatePtr pred);
+
+/// π: reorders / drops columns.
+TupleIteratorPtr MakeProjection(TupleIteratorPtr child,
+                                std::vector<int> cols);
+
+/// ∪ (bag union): streams all children in order; schemas must be
+/// union-compatible (same column count and kinds).
+TupleIteratorPtr MakeUnionAll(std::vector<TupleIteratorPtr> children);
+
+/// Runs a plan to completion into a Relation.
+Relation Drain(TupleIterator* it);
+
+}  // namespace xvm
+
+#endif  // XVM_ALGEBRA_ITERATOR_H_

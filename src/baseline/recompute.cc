@@ -1,0 +1,153 @@
+#include "baseline/recompute.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "pattern/compile.h"
+
+namespace xvm {
+
+namespace {
+
+/// Navigational node test (label, value predicate, '/'-anchored root).
+bool NavMatches(const TreePattern& pat, const Document& doc, int p,
+                NodeHandle d) {
+  const PatternNode& pn = pat.node(p);
+  const Node& dn = doc.node(d);
+  if (doc.dict().Name(dn.label) != pn.label) return false;
+  if (p == 0 && pn.edge == EdgeKind::kChild && dn.id.depth() != 1) {
+    return false;
+  }
+  if (pn.val_pred.has_value() && doc.StringValue(d) != *pn.val_pred) {
+    return false;
+  }
+  return true;
+}
+
+struct NavTask {
+  int pnode;
+  NodeHandle anchor;
+};
+
+/// Nested-loop embedding enumeration: match task idx, spawning the pattern
+/// children of each match.
+void NavMatchList(const TreePattern& pat, const Document& doc,
+                  std::vector<NavTask> todo, size_t idx,
+                  std::vector<NodeHandle>* bindings,
+                  const std::function<void()>& emit) {
+  if (idx == todo.size()) {
+    emit();
+    return;
+  }
+  const NavTask task = todo[idx];
+  const PatternNode& pn = pat.node(task.pnode);
+  std::vector<NodeHandle> candidates;
+  if (pn.edge == EdgeKind::kChild) {
+    for (NodeHandle c = doc.node(task.anchor).first_child; c != kNullNode;
+         c = doc.node(c).next_sibling) {
+      if (NavMatches(pat, doc, task.pnode, c)) candidates.push_back(c);
+    }
+  } else {
+    for (NodeHandle d : doc.SubtreeNodes(task.anchor)) {
+      if (d != task.anchor && NavMatches(pat, doc, task.pnode, d)) {
+        candidates.push_back(d);
+      }
+    }
+  }
+  for (NodeHandle cand : candidates) {
+    (*bindings)[static_cast<size_t>(task.pnode)] = cand;
+    std::vector<NavTask> extended = todo;
+    for (int child : pn.children) extended.push_back(NavTask{child, cand});
+    NavMatchList(pat, doc, extended, idx + 1, bindings, emit);
+  }
+  (*bindings)[static_cast<size_t>(task.pnode)] = kNullNode;
+}
+
+}  // namespace
+
+std::vector<CountedTuple> NavigationalViewEval(const ViewDefinition& def,
+                                               const Document& doc) {
+  const TreePattern& pat = def.pattern();
+  std::vector<NodeHandle> bindings(pat.size(), kNullNode);
+  std::unordered_map<std::string, CountedTuple> grouped;
+
+  auto emit = [&] {
+    Tuple t;
+    for (size_t i = 0; i < pat.size(); ++i) {
+      const PatternNode& n = pat.node(static_cast<int>(i));
+      NodeHandle b = bindings[i];
+      if (n.store_id) t.emplace_back(doc.node(b).id);
+      if (n.store_val) t.emplace_back(doc.StringValue(b));
+      if (n.store_cont) t.emplace_back(doc.Content(b));
+    }
+    std::string key = EncodeTuple(t);
+    auto it = grouped.find(key);
+    if (it == grouped.end()) {
+      grouped.emplace(std::move(key), CountedTuple{std::move(t), 1});
+    } else {
+      ++it->second.count;
+    }
+  };
+
+  if (doc.root() != kNullNode) {
+    std::vector<NodeHandle> roots;
+    const PatternNode& root_pn = pat.node(0);
+    if (root_pn.edge == EdgeKind::kChild) {
+      if (NavMatches(pat, doc, 0, doc.root())) roots.push_back(doc.root());
+    } else {
+      for (NodeHandle d : doc.AllNodes()) {
+        if (NavMatches(pat, doc, 0, d)) roots.push_back(d);
+      }
+    }
+    for (NodeHandle r : roots) {
+      bindings[0] = r;
+      std::vector<NavTask> todo;
+      for (int child : root_pn.children) todo.push_back(NavTask{child, r});
+      NavMatchList(pat, doc, todo, 0, &bindings, emit);
+      bindings[0] = kNullNode;
+    }
+  }
+
+  std::vector<CountedTuple> out;
+  out.reserve(grouped.size());
+  for (auto& [key, ct] : grouped) out.push_back(std::move(ct));
+  std::sort(out.begin(), out.end(),
+            [](const CountedTuple& a, const CountedTuple& b) {
+              return a.tuple < b.tuple;
+            });
+  return out;
+}
+
+RecomputedView::RecomputedView(ViewDefinition def, StoreIndex* store,
+                               RecomputeMode mode)
+    : def_(std::move(def)),
+      store_(store),
+      view_(def_.tuple_schema()),
+      mode_(mode) {}
+
+void RecomputedView::Initialize() {
+  if (mode_ == RecomputeMode::kNavigational) {
+    view_.Reset(NavigationalViewEval(def_, store_->doc()));
+    return;
+  }
+  const TreePattern& pat = def_.pattern();
+  view_.Reset(EvalViewWithCounts(pat, StoreLeafSource(store_, &pat)));
+}
+
+StatusOr<UpdateOutcome> RecomputedView::ApplyAndRecompute(
+    Document* doc, const UpdateStmt& stmt) {
+  UpdateOutcome out;
+  XVM_ASSIGN_OR_RETURN(Pul pul, ComputePul(*doc, stmt, &out.timing));
+  ApplyResult applied = ApplyPul(doc, pul, store_);
+  out.nodes_inserted = applied.inserted_nodes.size();
+  out.nodes_deleted = applied.deleted_nodes.size();
+  {
+    ScopedPhase phase(&out.timing, phase::kExecuteUpdate);
+    Initialize();
+  }
+  out.stats.recompute_fallback = true;  // by definition
+  return out;
+}
+
+}  // namespace xvm

@@ -1,0 +1,39 @@
+#ifndef XVM_COMMON_RNG_H_
+#define XVM_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace xvm {
+
+/// Deterministic 64-bit PRNG (splitmix64). Used by the XMark-like document
+/// generator and the property-based tests so every run is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Uniform(den) < num; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace xvm
+
+#endif  // XVM_COMMON_RNG_H_

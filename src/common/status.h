@@ -1,0 +1,167 @@
+#ifndef XVM_COMMON_STATUS_H_
+#define XVM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+
+namespace xvm {
+
+/// Error codes used across the library. The library does not throw across
+/// public API boundaries; recoverable failures are reported through Status /
+/// StatusOr, programming errors abort via XVM_CHECK.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kParseError,
+  kSchemaViolation,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("OK", "ParseError").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error result, modeled after absl::Status.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status SchemaViolation(std::string msg) {
+    return Status(StatusCode::kSchemaViolation, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error result, modeled after absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit conversions from T and Status mirror absl::StatusOr and keep
+  /// call sites terse (`return value;` / `return Status::...;`).
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {      // NOLINT
+    assert(!status_.ok() && "StatusOr(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+namespace internal {
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::cerr << file << ":" << line << ": XVM_CHECK failed: " << expr
+            << std::endl;
+  std::abort();
+}
+}  // namespace internal
+
+/// Aborts the process when `cond` is false. Used for invariants whose
+/// violation indicates a bug in this library, never for input validation.
+#define XVM_CHECK(cond)                                        \
+  do {                                                         \
+    if (!(cond)) ::xvm::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (0)
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define XVM_RETURN_IF_ERROR(expr)        \
+  do {                                   \
+    ::xvm::Status _st = (expr);          \
+    if (!_st.ok()) return _st;           \
+  } while (0)
+
+/// Evaluates a StatusOr expression; on error returns its status, otherwise
+/// move-assigns the value into `lhs`.
+#define XVM_ASSIGN_OR_RETURN(lhs, expr)         \
+  auto XVM_CONCAT_(_st_or_, __LINE__) = (expr); \
+  if (!XVM_CONCAT_(_st_or_, __LINE__).ok())     \
+    return XVM_CONCAT_(_st_or_, __LINE__).status(); \
+  lhs = std::move(XVM_CONCAT_(_st_or_, __LINE__)).value()
+
+#define XVM_CONCAT_INNER_(a, b) a##b
+#define XVM_CONCAT_(a, b) XVM_CONCAT_INNER_(a, b)
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kSchemaViolation: return "SchemaViolation";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace xvm
+
+#endif  // XVM_COMMON_STATUS_H_

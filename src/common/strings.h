@@ -1,0 +1,29 @@
+#ifndef XVM_COMMON_STRINGS_H_
+#define XVM_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xvm {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Joins `pieces` with `sep`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Escapes XML special characters (& < > " ') for serialization.
+std::string XmlEscape(std::string_view s);
+
+/// Formats a double with `digits` fractional digits (for bench output).
+std::string FormatDouble(double v, int digits);
+
+}  // namespace xvm
+
+#endif  // XVM_COMMON_STRINGS_H_

@@ -1,0 +1,103 @@
+#ifndef XVM_COMMON_TIMING_H_
+#define XVM_COMMON_TIMING_H_
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xvm {
+
+/// Simple wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  /// Elapsed time in milliseconds since construction / last Reset().
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase timings, mirroring the paper's measured-time
+/// breakdown (Find Target Nodes / Compute Delta Tables / Get Update
+/// Expression / Execute Update / Update Lattice, Section 6.1).
+class PhaseTimer {
+ public:
+  /// Adds `ms` milliseconds to phase `name` (created on first use).
+  void Add(const std::string& name, double ms) {
+    for (auto& p : phases_) {
+      if (p.first == name) {
+        p.second += ms;
+        return;
+      }
+    }
+    phases_.emplace_back(name, ms);
+  }
+
+  /// Returns accumulated milliseconds for `name` (0 if never recorded).
+  double Get(const std::string& name) const {
+    for (const auto& p : phases_) {
+      if (p.first == name) return p.second;
+    }
+    return 0.0;
+  }
+
+  /// Sum over all phases.
+  double TotalMs() const {
+    double t = 0;
+    for (const auto& p : phases_) t += p.second;
+    return t;
+  }
+
+  /// Phases in first-recorded order.
+  const std::vector<std::pair<std::string, double>>& phases() const {
+    return phases_;
+  }
+
+  void Clear() { phases_.clear(); }
+
+  /// Merges another timer's phases into this one.
+  void Merge(const PhaseTimer& other) {
+    for (const auto& p : other.phases_) Add(p.first, p.second);
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> phases_;
+};
+
+/// RAII helper: adds the scope's duration to `timer[phase]` on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer* timer, std::string phase)
+      : timer_(timer), phase_(std::move(phase)) {}
+  ~ScopedPhase() {
+    if (timer_ != nullptr) timer_->Add(phase_, watch_.ElapsedMs());
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer* timer_;
+  std::string phase_;
+  WallTimer watch_;
+};
+
+/// Canonical phase names used by the maintenance algorithms, matching the
+/// paper's Section 6.1 terminology.
+namespace phase {
+inline constexpr const char kFindTargets[] = "FindTargetNodes";
+inline constexpr const char kComputeDeltas[] = "ComputeDeltaTables";
+inline constexpr const char kGetExpression[] = "GetUpdateExpression";
+inline constexpr const char kExecuteUpdate[] = "ExecuteUpdate";
+inline constexpr const char kUpdateLattice[] = "UpdateLattice";
+}  // namespace phase
+
+}  // namespace xvm
+
+#endif  // XVM_COMMON_TIMING_H_

@@ -1,0 +1,41 @@
+#include "common/varint.h"
+
+namespace xvm {
+
+void PutVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void PutVarintSigned64(std::string* out, int64_t v) {
+  PutVarint64(out, ZigZagEncode(v));
+}
+
+bool GetVarint64(const std::string& data, size_t* pos, uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  size_t p = *pos;
+  while (p < data.size() && shift < 64) {
+    uint8_t byte = static_cast<uint8_t>(data[p++]);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *pos = p;
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+bool GetVarintSigned64(const std::string& data, size_t* pos, int64_t* v) {
+  uint64_t raw = 0;
+  if (!GetVarint64(data, pos, &raw)) return false;
+  *v = ZigZagDecode(raw);
+  return true;
+}
+
+}  // namespace xvm

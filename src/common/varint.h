@@ -1,0 +1,37 @@
+#ifndef XVM_COMMON_VARINT_H_
+#define XVM_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xvm {
+
+/// LEB128-style variable-length integer codec with zigzag mapping for signed
+/// values. Used by the compact binary encoding of structural IDs (the paper's
+/// Compact Dynamic Dewey IDs are "encoded in a very compact fashion"; varint
+/// zigzag is our equivalent).
+
+/// Appends `v` to `out` as an unsigned varint (1..10 bytes).
+void PutVarint64(std::string* out, uint64_t v);
+
+/// Appends `v` to `out` zigzag-encoded (small magnitudes stay short).
+void PutVarintSigned64(std::string* out, int64_t v);
+
+/// Decodes an unsigned varint at `data[*pos]`; advances `*pos`. Returns false
+/// on truncated or overlong input.
+bool GetVarint64(const std::string& data, size_t* pos, uint64_t* v);
+
+/// Decodes a zigzag-encoded signed varint.
+bool GetVarintSigned64(const std::string& data, size_t* pos, int64_t* v);
+
+/// Zigzag map: 0,-1,1,-2,2,... -> 0,1,2,3,4,...
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace xvm
+
+#endif  // XVM_COMMON_VARINT_H_

@@ -1,0 +1,90 @@
+#include "ids/ordkey.h"
+
+#include "common/status.h"
+#include "common/varint.h"
+
+namespace xvm {
+
+OrdKey OrdKey::First() { return OrdKey({0}); }
+
+OrdKey OrdKey::After(const OrdKey& a) {
+  XVM_CHECK(!a.empty());
+  // Truncating to head+1 keeps keys short under the common append workload.
+  return OrdKey({a.components_[0] + 1});
+}
+
+OrdKey OrdKey::Before(const OrdKey& b) {
+  XVM_CHECK(!b.empty());
+  return OrdKey({b.components_[0] - 1});
+}
+
+OrdKey OrdKey::Between(const OrdKey& a, const OrdKey& b) {
+  XVM_CHECK(!a.empty() && !b.empty());
+  XVM_CHECK(a < b);
+  const auto& ca = a.components_;
+  const auto& cb = b.components_;
+  size_t i = 0;
+  while (i < ca.size() && i < cb.size() && ca[i] == cb[i]) ++i;
+  if (i < ca.size() && i < cb.size()) {
+    // Components differ at i with ca[i] < cb[i].
+    if (cb[i] - ca[i] > 1) {
+      std::vector<int64_t> out(ca.begin(), ca.begin() + i + 1);
+      // Midpoint avoids overflow for arbitrary int64 endpoints.
+      out[i] = ca[i] + (cb[i] - ca[i]) / 2;
+      return OrdKey(std::move(out));
+    }
+    // Adjacent heads: any extension of `a` stays below `b`.
+    std::vector<int64_t> out(ca);
+    out.push_back(1);
+    return OrdKey(std::move(out));
+  }
+  // `a` is a proper prefix of `b` (a < b guarantees this orientation).
+  XVM_CHECK(i == ca.size() && i < cb.size());
+  std::vector<int64_t> out(cb.begin(), cb.begin() + i + 1);
+  if (cb.size() > i + 1) {
+    // b extends past i, so a..cb[i] itself (a prefix of b) is already < b.
+    return OrdKey(std::move(out));
+  }
+  out[i] = cb[i] - 1;
+  return OrdKey(std::move(out));
+}
+
+std::strong_ordering OrdKey::operator<=>(const OrdKey& other) const {
+  const size_t n = std::min(components_.size(), other.components_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (components_[i] != other.components_[i]) {
+      return components_[i] <=> other.components_[i];
+    }
+  }
+  return components_.size() <=> other.components_.size();
+}
+
+void OrdKey::EncodeTo(std::string* out) const {
+  PutVarint64(out, components_.size());
+  for (int64_t c : components_) PutVarintSigned64(out, c);
+}
+
+bool OrdKey::DecodeFrom(const std::string& data, size_t* pos, OrdKey* key) {
+  uint64_t n = 0;
+  if (!GetVarint64(data, pos, &n)) return false;
+  std::vector<int64_t> comps;
+  comps.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    int64_t c = 0;
+    if (!GetVarintSigned64(data, pos, &c)) return false;
+    comps.push_back(c);
+  }
+  *key = OrdKey(std::move(comps));
+  return true;
+}
+
+std::string OrdKey::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(components_[i]);
+  }
+  return out;
+}
+
+}  // namespace xvm

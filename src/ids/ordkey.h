@@ -1,0 +1,66 @@
+#ifndef XVM_IDS_ORDKEY_H_
+#define XVM_IDS_ORDKEY_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xvm {
+
+/// A dynamic sibling order key, the per-step position component of a Compact
+/// Dynamic Dewey ID (Xu et al. 2009). The paper requires that structural IDs
+/// "do not require node relabeling in the presence of updates": new siblings
+/// can be placed before, after, or *between* any two existing siblings
+/// without touching existing keys. We realize this with an ORDPATH-style
+/// scheme: a key is a sequence of int64 components ordered lexicographically,
+/// where a proper prefix sorts *before* any of its extensions. Between() then
+/// always finds a fresh key strictly between two neighbors.
+///
+/// Invariants maintained by the factory functions:
+///   * First() < After(First()) < After(After(First())) < ...
+///   * a < Between(a, b) < b for all a < b produced by this class.
+class OrdKey {
+ public:
+  /// An empty key is "unset"; all real keys have >= 1 component.
+  OrdKey() = default;
+  explicit OrdKey(std::vector<int64_t> components)
+      : components_(std::move(components)) {}
+
+  /// The key of a first child: [0].
+  static OrdKey First();
+
+  /// A key strictly greater than `a` (used for append-as-last-sibling).
+  /// Always single-component relative to a's head, so repeated appends do not
+  /// grow key length.
+  static OrdKey After(const OrdKey& a);
+
+  /// A key strictly smaller than `b` (insert-before-first).
+  static OrdKey Before(const OrdKey& b);
+
+  /// A key strictly between `a` and `b`. Requires a < b.
+  static OrdKey Between(const OrdKey& a, const OrdKey& b);
+
+  bool empty() const { return components_.empty(); }
+  size_t size() const { return components_.size(); }
+  const std::vector<int64_t>& components() const { return components_; }
+
+  /// Lexicographic comparison; a proper prefix precedes its extensions.
+  std::strong_ordering operator<=>(const OrdKey& other) const;
+  bool operator==(const OrdKey& other) const = default;
+
+  /// Compact binary encoding (zigzag varints, length-prefixed). Appends to
+  /// `out`; Decode reads back from `data` at `*pos`.
+  void EncodeTo(std::string* out) const;
+  static bool DecodeFrom(const std::string& data, size_t* pos, OrdKey* key);
+
+  /// Debug form: "3" or "3.0.-1".
+  std::string ToString() const;
+
+ private:
+  std::vector<int64_t> components_;
+};
+
+}  // namespace xvm
+
+#endif  // XVM_IDS_ORDKEY_H_

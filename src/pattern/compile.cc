@@ -1,0 +1,175 @@
+#include "pattern/compile.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace xvm {
+
+namespace {
+
+bool Included(const std::vector<bool>* subset, int i) {
+  return subset == nullptr || (*subset)[static_cast<size_t>(i)];
+}
+
+void LayoutRec(const TreePattern& pattern, const std::vector<bool>* subset,
+               int i, BindingLayout* out) {
+  if (!Included(subset, i)) return;
+  const PatternNode& n = pattern.node(i);
+  NodeLayout& l = out->per_node[static_cast<size_t>(i)];
+  l.id_col = static_cast<int>(out->schema.Add({n.name + ".ID", ValueKind::kId}));
+  if (n.store_val) {
+    l.val_col =
+        static_cast<int>(out->schema.Add({n.name + ".val", ValueKind::kString}));
+  }
+  if (n.store_cont) {
+    l.cont_col = static_cast<int>(
+        out->schema.Add({n.name + ".cont", ValueKind::kString}));
+  }
+  for (int c : n.children) LayoutRec(pattern, subset, c, out);
+}
+
+}  // namespace
+
+BindingLayout ComputeBindingLayout(const TreePattern& pattern,
+                                   const std::vector<bool>* subset) {
+  BindingLayout out;
+  out.per_node.resize(pattern.size());
+  if (pattern.size() > 0 && Included(subset, 0)) {
+    LayoutRec(pattern, subset, 0, &out);
+  }
+  return out;
+}
+
+LeafSource StoreLeafSource(const StoreIndex* store,
+                           const TreePattern* pattern) {
+  return [store, pattern](int node_idx) -> Relation {
+    const PatternNode& n = pattern->node(node_idx);
+    LabelId label = store->doc().dict().Lookup(n.label);
+    ScanAttrs attrs;
+    attrs.val = n.store_val || n.val_pred.has_value();
+    attrs.cont = n.store_cont;
+    if (label == kInvalidLabel) {
+      // Label never seen in this document: empty relation, correct schema.
+      Relation empty;
+      empty.schema.Add({n.name + ".ID", ValueKind::kId});
+      if (attrs.val) empty.schema.Add({n.name + ".val", ValueKind::kString});
+      if (attrs.cont) empty.schema.Add({n.name + ".cont", ValueKind::kString});
+      return empty;
+    }
+    return ScanRelation(*store, label, n.name, attrs);
+  };
+}
+
+namespace {
+
+/// Evaluates the sub-pattern rooted at node `i`; returns a relation whose
+/// first column is node i's ID, sorted by it.
+Relation EvalNodeRec(const TreePattern& pattern, const LeafSource& leaf_source,
+                     const std::vector<bool>* subset, int i) {
+  const PatternNode& n = pattern.node(i);
+  Relation rel = leaf_source(i);
+  XVM_CHECK(rel.schema.size() >= 1);
+  XVM_CHECK(rel.schema.col(0).name == n.name + ".ID");
+
+  // A '/'-anchored pattern root matches only the document root element.
+  if (i == 0 && n.edge == EdgeKind::kChild) {
+    Relation filtered;
+    filtered.schema = rel.schema;
+    for (auto& row : rel.rows) {
+      if (row[0].id().depth() == 1) filtered.rows.push_back(std::move(row));
+    }
+    rel = std::move(filtered);
+  }
+
+  // Value predicate; afterwards drop a val column that exists only for the
+  // predicate, so binding schemas are uniform across leaf sources.
+  if (n.val_pred.has_value()) {
+    int val_col = rel.schema.IndexOf(n.name + ".val");
+    XVM_CHECK(val_col >= 0);
+    rel = Select(rel, *ColEqualsConst(val_col, *n.val_pred));
+    if (!n.store_val) {
+      std::vector<int> keep;
+      for (size_t c = 0; c < rel.schema.size(); ++c) {
+        if (static_cast<int>(c) != val_col) keep.push_back(static_cast<int>(c));
+      }
+      rel = Project(rel, keep);
+    }
+  }
+
+  // Leaf contract: sorted by ID. Enforce (cheap if already sorted).
+  if (!IsSortedByIdCol(rel, 0)) rel = SortBy(std::move(rel), {0});
+
+  for (int c : n.children) {
+    if (!Included(subset, c)) continue;
+    Relation child_rel = EvalNodeRec(pattern, leaf_source, subset, c);
+    Axis axis = pattern.node(c).edge == EdgeKind::kChild ? Axis::kChild
+                                                         : Axis::kDescendant;
+    // Outer (this subtree so far) is sorted by column 0 = node i's ID;
+    // inner is sorted by its column 0 = child's ID.
+    size_t outer_width = rel.schema.size();
+    rel = StructuralJoin(rel, 0, child_rel, static_cast<int>(0) + 0, axis);
+    (void)outer_width;
+    // Structural join output is sorted by the inner column; restore the
+    // node-i ordering for the next child / the parent join.
+    rel = SortBy(std::move(rel), {0});
+  }
+  return rel;
+}
+
+}  // namespace
+
+Relation EvalTreePattern(const TreePattern& pattern,
+                         const LeafSource& leaf_source,
+                         const std::vector<bool>* subset) {
+  XVM_CHECK(pattern.size() > 0);
+  XVM_CHECK(Included(subset, 0));
+  Relation rel = EvalNodeRec(pattern, leaf_source, subset, 0);
+  // Deterministic output: sort by every ID column (the paper's s_cols).
+  BindingLayout layout = ComputeBindingLayout(pattern, subset);
+  std::vector<int> id_cols;
+  for (const auto& nl : layout.per_node) {
+    if (nl.id_col >= 0) id_cols.push_back(nl.id_col);
+  }
+  return SortBy(std::move(rel), id_cols);
+}
+
+Relation EvalPatternSubtree(const TreePattern& pattern,
+                            const LeafSource& leaf_source, int root_node,
+                            const std::vector<bool>* subset) {
+  XVM_CHECK(Included(subset, root_node));
+  return EvalNodeRec(pattern, leaf_source, subset, root_node);
+}
+
+std::vector<int> StoredColumnIndices(const TreePattern& pattern,
+                                     const BindingLayout& layout) {
+  std::vector<int> cols;
+  for (int i : pattern.Subtree(0)) {
+    const PatternNode& n = pattern.node(i);
+    const NodeLayout& l = layout.per_node[static_cast<size_t>(i)];
+    if (l.id_col < 0) continue;  // excluded from subset
+    if (n.store_id) cols.push_back(l.id_col);
+    if (n.store_val) cols.push_back(l.val_col);
+    if (n.store_cont) cols.push_back(l.cont_col);
+  }
+  return cols;
+}
+
+std::vector<CountedTuple> EvalViewWithCounts(const TreePattern& pattern,
+                                             const LeafSource& leaf_source) {
+  Relation bindings = EvalTreePattern(pattern, leaf_source, nullptr);
+  BindingLayout layout = ComputeBindingLayout(pattern, nullptr);
+  Relation projected = Project(bindings, StoredColumnIndices(pattern, layout));
+  return DupElimWithCounts(projected);
+}
+
+Schema ViewTupleSchema(const TreePattern& pattern) {
+  BindingLayout layout = ComputeBindingLayout(pattern, nullptr);
+  Relation dummy;
+  dummy.schema = layout.schema;
+  Relation projected =
+      Project(dummy, StoredColumnIndices(pattern, layout));
+  return projected.schema;
+}
+
+}  // namespace xvm

@@ -1,0 +1,78 @@
+#ifndef XVM_PATTERN_COMPILE_H_
+#define XVM_PATTERN_COMPILE_H_
+
+#include <functional>
+#include <vector>
+
+#include "algebra/operators.h"
+#include "pattern/tree_pattern.h"
+#include "store/canonical.h"
+
+namespace xvm {
+
+/// Column positions of one pattern node inside a binding relation (-1 when
+/// the column or the node is absent).
+struct NodeLayout {
+  int id_col = -1;
+  int val_col = -1;
+  int cont_col = -1;
+};
+
+/// Schema and per-node column positions of the *full binding* relation of a
+/// pattern (or of a sub-pattern selected by `subset`): for every included
+/// node its ID, plus val/cont where annotated, in pre-order.
+struct BindingLayout {
+  Schema schema;
+  std::vector<NodeLayout> per_node;  // indexed by pattern node index
+};
+
+/// Computes the binding layout. `subset` (if non-null, sized pattern.size())
+/// selects an upward-closed set of nodes (a snowcap); null means all nodes.
+BindingLayout ComputeBindingLayout(const TreePattern& pattern,
+                                   const std::vector<bool>* subset);
+
+/// Supplies the leaf relation of pattern node `i`. Contract: the returned
+/// relation has columns "<name>.ID" [, "<name>.val"][, "<name>.cont"] where
+/// val is present iff the node stores val *or* has a value predicate, cont
+/// iff the node stores cont; rows are sorted by the ID column. The default
+/// source scans the canonical relation R_label; maintenance substitutes
+/// delta tables for selected nodes (the heart of the paper's approach).
+using LeafSource = std::function<Relation(int node_idx)>;
+
+/// Leaf source reading from the canonical-relation store.
+LeafSource StoreLeafSource(const StoreIndex* store, const TreePattern* pattern);
+
+/// Evaluates the (sub-)pattern as a full binding relation: the algebraic
+/// semantics of §2.2 before projection/duplicate elimination. Structural
+/// relationships are evaluated with stack-based structural joins; value
+/// predicates with selections; a root anchored by '/' is restricted to the
+/// document root element. Output sorted by all ID columns.
+Relation EvalTreePattern(const TreePattern& pattern,
+                         const LeafSource& leaf_source,
+                         const std::vector<bool>* subset = nullptr);
+
+/// Evaluates only the pattern subtree rooted at `root_node` (intersected
+/// with `subset` when non-null). Returns the binding relation of that
+/// subtree, sorted by its first column (= `root_node`'s ID) — ready to be
+/// the inner input of a structural join. Used by term evaluation to compute
+/// the tΔ sub-expressions hanging off a snowcap frontier.
+Relation EvalPatternSubtree(const TreePattern& pattern,
+                            const LeafSource& leaf_source, int root_node,
+                            const std::vector<bool>* subset = nullptr);
+
+/// Column indices (into the full binding schema) of the attributes the view
+/// stores, in pre-order — the projection list of the e_v expression.
+std::vector<int> StoredColumnIndices(const TreePattern& pattern,
+                                     const BindingLayout& layout);
+
+/// Full view semantics with derivation counts: eval, project stored
+/// attributes, duplicate-eliminate counting derivations, sort (paper §2.2).
+std::vector<CountedTuple> EvalViewWithCounts(const TreePattern& pattern,
+                                             const LeafSource& leaf_source);
+
+/// Schema of the projected (stored) view tuples.
+Schema ViewTupleSchema(const TreePattern& pattern);
+
+}  // namespace xvm
+
+#endif  // XVM_PATTERN_COMPILE_H_

@@ -1,0 +1,128 @@
+#include "pattern/from_xpath.h"
+
+namespace xvm {
+
+namespace {
+
+/// Adds the node for one XPath step under `parent`; returns its index.
+StatusOr<int> AddStepNode(const XPathStep& step, int parent,
+                          TreePattern* out) {
+  PatternNode node;
+  switch (step.test) {
+    case XPathTest::kName:
+      node.label = step.name;
+      break;
+    case XPathTest::kAttribute:
+      node.label = "@" + step.name;
+      break;
+    case XPathTest::kAnyElement:
+      return Status::InvalidArgument(
+          "wildcard steps have no label for the pattern dialect P");
+    case XPathTest::kText:
+    case XPathTest::kSelf:
+      return Status::InvalidArgument(
+          "text()/self steps cannot become pattern nodes");
+  }
+  node.edge = step.axis == XPathAxis::kChild ? EdgeKind::kChild
+                                             : EdgeKind::kDescendant;
+  node.parent = parent;
+  return out->AddNode(std::move(node));
+}
+
+Status AddPredicate(const XPathPredicate& pred, int anchor, TreePattern* out);
+
+/// Adds a predicate path as an existential branch; returns the index of the
+/// branch's last node.
+StatusOr<int> AddPredicatePath(const XPathRelPath& path, int anchor,
+                               TreePattern* out) {
+  if (path.steps.empty()) {
+    // "." — the anchor itself.
+    return anchor;
+  }
+  int cur = anchor;
+  for (const XPathStep& step : path.steps) {
+    if (!step.predicates.empty()) {
+      XVM_ASSIGN_OR_RETURN(int idx, AddStepNode(step, cur, out));
+      for (const auto& nested : step.predicates) {
+        XVM_RETURN_IF_ERROR(AddPredicate(nested, idx, out));
+      }
+      cur = idx;
+    } else {
+      XVM_ASSIGN_OR_RETURN(int idx, AddStepNode(step, cur, out));
+      cur = idx;
+    }
+  }
+  return cur;
+}
+
+Status AddPredicate(const XPathPredicate& pred, int anchor,
+                    TreePattern* out) {
+  switch (pred.kind) {
+    case XPathPredicate::Kind::kAnd:
+      XVM_RETURN_IF_ERROR(AddPredicate(pred.children[0], anchor, out));
+      return AddPredicate(pred.children[1], anchor, out);
+    case XPathPredicate::Kind::kOr:
+      return Status::InvalidArgument(
+          "'or' predicates have no conjunctive tree-pattern equivalent");
+    case XPathPredicate::Kind::kNotEquals:
+      return Status::InvalidArgument(
+          "'!=' predicates have no conjunctive tree-pattern equivalent");
+    case XPathPredicate::Kind::kExists: {
+      XVM_ASSIGN_OR_RETURN(int last, AddPredicatePath(pred.path, anchor, out));
+      (void)last;
+      return Status::Ok();
+    }
+    case XPathPredicate::Kind::kEquals: {
+      XVM_ASSIGN_OR_RETURN(int last, AddPredicatePath(pred.path, anchor, out));
+      PatternNode& n = out->mutable_node(last);
+      if (n.val_pred.has_value() && *n.val_pred != pred.literal) {
+        return Status::InvalidArgument(
+            "conflicting value predicates on one pattern node");
+      }
+      n.val_pred = pred.literal;
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unhandled predicate kind");
+}
+
+}  // namespace
+
+StatusOr<TreePattern> PatternFromXPath(const XPathExpr& expr,
+                                       ResultAnnotation result) {
+  TreePattern pattern;
+  int cur = -1;
+  for (const XPathStep& step : expr.steps) {
+    XVM_ASSIGN_OR_RETURN(int idx, AddStepNode(step, cur, &pattern));
+    // Main-path nodes store IDs (the paper's experimental setup).
+    pattern.mutable_node(idx).store_id = true;
+    for (const auto& pred : step.predicates) {
+      XVM_RETURN_IF_ERROR(AddPredicate(pred, idx, &pattern));
+    }
+    cur = idx;
+  }
+  if (cur < 0) return Status::InvalidArgument("empty path");
+  PatternNode& last = pattern.mutable_node(cur);
+  switch (result) {
+    case ResultAnnotation::kId:
+      break;
+    case ResultAnnotation::kIdVal:
+      last.store_val = true;
+      break;
+    case ResultAnnotation::kIdCont:
+      last.store_cont = true;
+      break;
+  }
+  // Re-derive unique names (duplicated labels) and validate.
+  XVM_ASSIGN_OR_RETURN(TreePattern reparsed,
+                       TreePattern::Parse(pattern.ToString()));
+  return reparsed;
+}
+
+StatusOr<TreePattern> PatternFromXPathString(std::string_view xpath,
+                                             ResultAnnotation result) {
+  XVM_ASSIGN_OR_RETURN(XPathExpr expr, ParseXPath(xpath));
+  return PatternFromXPath(expr, result);
+}
+
+}  // namespace xvm

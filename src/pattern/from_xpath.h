@@ -1,0 +1,37 @@
+#ifndef XVM_PATTERN_FROM_XPATH_H_
+#define XVM_PATTERN_FROM_XPATH_H_
+
+#include "common/status.h"
+#include "pattern/tree_pattern.h"
+#include "xpath/xpath_ast.h"
+
+namespace xvm {
+
+/// Which attributes the translated pattern stores for the XPath's result
+/// node (every node on the main path always stores its ID, as the paper's
+/// experimental views do).
+enum class ResultAnnotation : uint8_t {
+  kId,        // id(q) — structural identifiers only
+  kIdVal,     // string(q) — plus string values
+  kIdCont,    // q — plus serialized content
+};
+
+/// Translates a conjunctive XPath expression into an equivalent tree
+/// pattern of the dialect P (the role [Arion et al. 2006] plays in the
+/// paper: "the translation of an XQuery view into an equivalent tree
+/// pattern"). Supported: the XPath{/,//,*,[]} steps of the main path
+/// (wildcards excluded — P nodes carry labels), existence predicates over
+/// relative paths, `and` (conjunction of branches), attribute tests, and
+/// value comparisons `p = "c"` whose path ends at the predicate's last
+/// step (mapped to a [val=c] annotation). `or`, `!=` and wildcard steps
+/// have no conjunctive-pattern equivalent and are rejected.
+StatusOr<TreePattern> PatternFromXPath(const XPathExpr& expr,
+                                       ResultAnnotation result);
+
+/// Parses and translates in one call.
+StatusOr<TreePattern> PatternFromXPathString(std::string_view xpath,
+                                             ResultAnnotation result);
+
+}  // namespace xvm
+
+#endif  // XVM_PATTERN_FROM_XPATH_H_

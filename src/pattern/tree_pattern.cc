@@ -1,0 +1,236 @@
+#include "pattern/tree_pattern.h"
+
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace xvm {
+
+namespace {
+
+class DslParser {
+ public:
+  explicit DslParser(std::string_view in) : in_(in) {}
+
+  Status Parse(TreePattern* out) {
+    XVM_RETURN_IF_ERROR(ParsePattern(-1, out));
+    SkipWs();
+    if (pos_ != in_.size()) return Err("trailing characters");
+    return Status::Ok();
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : in_[pos_]; }
+  bool Match(std::string_view s) {
+    if (in_.substr(pos_, s.size()) == s) {
+      pos_ += s.size();
+      return true;
+    }
+    return false;
+  }
+  void SkipWs() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+  Status Err(const std::string& m) const {
+    return Status::ParseError("pattern: " + m + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  static bool IsLabelChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '@' || c == '#' || c == ':' || c == '.';
+  }
+
+  Status ParsePattern(int parent, TreePattern* out) {
+    SkipWs();
+    EdgeKind edge;
+    if (Match("//")) {
+      edge = EdgeKind::kDescendant;
+    } else if (Match("/")) {
+      edge = EdgeKind::kChild;
+    } else {
+      return Err("expected '/' or '//'");
+    }
+    SkipWs();
+    size_t start = pos_;
+    while (!AtEnd() && IsLabelChar(Peek())) ++pos_;
+    if (pos_ == start) return Err("expected a label");
+    PatternNode node;
+    node.label = std::string(in_.substr(start, pos_ - start));
+    node.edge = edge;
+    node.parent = parent;
+    SkipWs();
+    if (Match("{")) {
+      for (;;) {
+        SkipWs();
+        if (Match("id")) node.store_id = true;
+        else if (Match("val")) node.store_val = true;
+        else if (Match("cont")) node.store_cont = true;
+        else return Err("expected id, val or cont");
+        SkipWs();
+        if (Match("}")) break;
+        if (!Match(",")) return Err("expected ',' or '}'");
+      }
+    }
+    SkipWs();
+    if (Match("[")) {
+      SkipWs();
+      if (!Match("val")) return Err("expected 'val' in predicate");
+      SkipWs();
+      if (!Match("=")) return Err("expected '=' in predicate");
+      SkipWs();
+      if (!Match("\"")) return Err("expected '\"'");
+      size_t vstart = pos_;
+      while (!AtEnd() && Peek() != '"') ++pos_;
+      if (AtEnd()) return Err("unterminated predicate value");
+      node.val_pred = std::string(in_.substr(vstart, pos_ - vstart));
+      ++pos_;
+      SkipWs();
+      if (!Match("]")) return Err("expected ']'");
+    }
+    int idx = out->AddNode(std::move(node));
+    SkipWs();
+    if (Match("(")) {
+      for (;;) {
+        XVM_RETURN_IF_ERROR(ParsePattern(idx, out));
+        SkipWs();
+        if (Match(")")) break;
+        if (!Match(",")) return Err("expected ',' or ')'");
+      }
+    }
+    return Status::Ok();
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<TreePattern> TreePattern::Parse(std::string_view text) {
+  TreePattern p;
+  DslParser parser(text);
+  XVM_RETURN_IF_ERROR(parser.Parse(&p));
+  p.AssignNames();
+  XVM_RETURN_IF_ERROR(p.Validate());
+  return p;
+}
+
+int TreePattern::AddNode(PatternNode node) {
+  XVM_CHECK(node.parent == -1 ? nodes_.empty()
+                              : static_cast<size_t>(node.parent) <
+                                    nodes_.size());
+  int idx = static_cast<int>(nodes_.size());
+  if (node.parent >= 0) {
+    nodes_[static_cast<size_t>(node.parent)].children.push_back(idx);
+  }
+  if (node.name.empty()) node.name = node.label;
+  nodes_.push_back(std::move(node));
+  return idx;
+}
+
+void TreePattern::AssignNames() {
+  std::unordered_map<std::string, int> seen;
+  for (auto& n : nodes_) {
+    int count = ++seen[n.label];
+    n.name = count == 1 ? n.label : n.label + "#" + std::to_string(count);
+  }
+}
+
+std::vector<int> TreePattern::ContentOrValueNodes() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].store_val || nodes_[i].store_cont) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+bool TreePattern::IsInSubtree(int anc, int maybe_desc) const {
+  int cur = maybe_desc;
+  while (cur != -1) {
+    if (cur == anc) return true;
+    cur = nodes_[static_cast<size_t>(cur)].parent;
+  }
+  return false;
+}
+
+std::vector<int> TreePattern::Subtree(int i) const {
+  std::vector<int> out;
+  std::vector<int> stack = {i};
+  while (!stack.empty()) {
+    int cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const auto& kids = nodes_[static_cast<size_t>(cur)].children;
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+Status TreePattern::Validate() const {
+  if (nodes_.empty()) return Status::InvalidArgument("empty pattern");
+  if (nodes_[0].parent != -1) {
+    return Status::InvalidArgument("node 0 must be the root");
+  }
+  std::unordered_set<std::string> names;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& n = nodes_[i];
+    if (i > 0 && (n.parent < 0 || static_cast<size_t>(n.parent) >= i)) {
+      return Status::InvalidArgument("nodes must be stored in pre-order");
+    }
+    if (!names.insert(n.name).second) {
+      return Status::InvalidArgument("duplicate node name: " + n.name);
+    }
+    if ((n.store_val || n.store_cont) && !n.store_id) {
+      return Status::InvalidArgument(
+          "node '" + n.name +
+          "' stores val/cont but not ID (required by PIMT, Algorithm 4)");
+    }
+  }
+  return Status::Ok();
+}
+
+void TreePattern::AppendNodeText(int i, std::string* out) const {
+  const PatternNode& n = nodes_[static_cast<size_t>(i)];
+  out->append(n.edge == EdgeKind::kChild ? "/" : "//");
+  out->append(n.label);
+  if (n.store_id || n.store_val || n.store_cont) {
+    out->push_back('{');
+    bool first = true;
+    auto add = [&](const char* s) {
+      if (!first) out->push_back(',');
+      out->append(s);
+      first = false;
+    };
+    if (n.store_id) add("id");
+    if (n.store_val) add("val");
+    if (n.store_cont) add("cont");
+    out->push_back('}');
+  }
+  if (n.val_pred.has_value()) {
+    out->append("[val=\"");
+    out->append(*n.val_pred);
+    out->append("\"]");
+  }
+  if (!n.children.empty()) {
+    out->push_back('(');
+    for (size_t c = 0; c < n.children.size(); ++c) {
+      if (c > 0) out->push_back(',');
+      AppendNodeText(n.children[c], out);
+    }
+    out->push_back(')');
+  }
+}
+
+std::string TreePattern::ToString() const {
+  std::string out;
+  if (!nodes_.empty()) AppendNodeText(0, &out);
+  return out;
+}
+
+}  // namespace xvm

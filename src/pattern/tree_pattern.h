@@ -1,0 +1,93 @@
+#ifndef XVM_PATTERN_TREE_PATTERN_H_
+#define XVM_PATTERN_TREE_PATTERN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/value.h"
+#include "common/status.h"
+
+namespace xvm {
+
+/// Edge kinds of the pattern dialect P (paper §2.2): parent-child (/) and
+/// ancestor-descendant (//).
+enum class EdgeKind : uint8_t {
+  kChild,
+  kDescendant,
+};
+
+/// One node of a tree pattern: an element/attribute label, the edge from its
+/// parent, stored-attribute annotations (ID / val / cont) and an optional
+/// value predicate [val = c].
+struct PatternNode {
+  std::string label;
+  /// Unique column-name prefix within the pattern ("person", "person#2").
+  std::string name;
+  EdgeKind edge = EdgeKind::kDescendant;  // edge from parent (or doc root)
+  int parent = -1;                        // -1 for the pattern root
+  std::vector<int> children;
+
+  bool store_id = false;
+  bool store_val = false;
+  bool store_cont = false;
+  std::optional<std::string> val_pred;  // [val = c]
+};
+
+/// A conjunctive tree pattern. Node 0 is the root; nodes are stored in
+/// pre-order. Patterns are the internal representation of views (the
+/// conjunctive XQuery dialect of Figure 3 maps to P, Figure 4).
+///
+/// Text DSL accepted by Parse():
+///   pattern  := edge node
+///   node     := label annots? pred? children?
+///   edge     := '/' | '//'
+///   annots   := '{' (id|val|cont) (',' (id|val|cont))* '}'
+///   pred     := '[' 'val' '=' '"' chars '"' ']'
+///   children := '(' pattern (',' pattern)* ')'
+/// Example (the view of Figure 6): "//a{id}(//b{id}(//c{id}), //d{id})".
+/// A leading '/' root edge anchors the root node to the document root
+/// element. Attribute nodes use their '@'-prefixed label ("@id").
+class TreePattern {
+ public:
+  TreePattern() = default;
+
+  /// Parses the DSL above.
+  static StatusOr<TreePattern> Parse(std::string_view text);
+
+  /// Programmatic construction: adds a node; parent = -1 only for the first.
+  int AddNode(PatternNode node);
+
+  size_t size() const { return nodes_.size(); }
+  const PatternNode& node(int i) const {
+    return nodes_[static_cast<size_t>(i)];
+  }
+  PatternNode& mutable_node(int i) { return nodes_[static_cast<size_t>(i)]; }
+  const std::vector<PatternNode>& nodes() const { return nodes_; }
+
+  /// Indices of nodes annotated with val or cont (the paper's `cvn` set).
+  std::vector<int> ContentOrValueNodes() const;
+
+  /// True iff `maybe_desc` is `anc` or in its pattern subtree.
+  bool IsInSubtree(int anc, int maybe_desc) const;
+
+  /// Nodes of the subtree rooted at `i`, pre-order.
+  std::vector<int> Subtree(int i) const;
+
+  /// Validation: every val/cont-annotated node must also store its ID
+  /// (required by Algorithm 4 / PIMT), names unique, edges well-formed.
+  Status Validate() const;
+
+  /// Round-trips to the DSL (canonical form).
+  std::string ToString() const;
+
+ private:
+  void AppendNodeText(int i, std::string* out) const;
+  void AssignNames();
+
+  std::vector<PatternNode> nodes_;
+};
+
+}  // namespace xvm
+
+#endif  // XVM_PATTERN_TREE_PATTERN_H_

@@ -1,0 +1,276 @@
+#include "pattern/twig.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace xvm {
+
+namespace {
+
+/// One stack entry of PathStack: the stream row plus the number of entries
+/// on the *previous* level's stack at push time (its compatible-ancestor
+/// prefix).
+struct StackEntry {
+  const Tuple* row;
+  size_t parent_ptr;
+};
+
+}  // namespace
+
+Relation PathStackJoin(const std::vector<Relation>& streams,
+                       const std::vector<Axis>& axes) {
+  const size_t k = streams.size();
+  XVM_CHECK(k >= 1 && axes.size() == k);
+
+  Relation out;
+  for (const auto& s : streams) {
+    out.schema = Schema::Concat(out.schema, s.schema);
+  }
+  if (k == 1) {
+    out.rows = streams[0].rows;
+    return out;
+  }
+
+  std::vector<size_t> cursor(k, 0);
+  std::vector<std::vector<StackEntry>> stacks(k);
+
+  auto exhausted = [&](size_t q) { return cursor[q] >= streams[q].size(); };
+  auto head_id = [&](size_t q) -> const DeweyId& {
+    return streams[q].rows[cursor[q]][0].id();
+  };
+
+  // Emits every chain solution ending at leaf entry `leaf`. Walks the stack
+  // levels upward: an entry at level j combines with the entries of level
+  // j-1 below its parent_ptr; axis constraints for '/' edges are checked
+  // during emission (PathStack handles '//' natively).
+  std::vector<const Tuple*> chosen(k, nullptr);
+  std::function<void(size_t, size_t)> emit = [&](size_t level,
+                                                 size_t limit) {
+    if (level == static_cast<size_t>(-1)) return;  // unreachable
+    for (size_t i = 0; i < limit; ++i) {
+      const StackEntry& e = stacks[level][i];
+      // Check the edge to the already-chosen child (level+1). Stacks may
+      // hold entries equal to the current node (same label at two chain
+      // levels), so the strict '//' semantics is re-checked here too.
+      const Tuple* child = chosen[level + 1];
+      const DeweyId& child_id = (*child)[0].id();
+      const DeweyId& my_id = (*e.row)[0].id();
+      bool edge_ok = axes[level + 1] == Axis::kChild
+                         ? my_id.IsParentOf(child_id)
+                         : my_id.IsAncestorOf(child_id);
+      if (!edge_ok) continue;
+      chosen[level] = e.row;
+      if (level == 0) {
+        Tuple t;
+        for (size_t j = 0; j < k; ++j) {
+          t.insert(t.end(), chosen[j]->begin(), chosen[j]->end());
+        }
+        out.rows.push_back(std::move(t));
+      } else {
+        emit(level - 1, e.parent_ptr);
+      }
+    }
+    chosen[level] = nullptr;
+  };
+
+  for (;;) {
+    // qmin: the stream whose head comes first in document order.
+    size_t qmin = k;
+    for (size_t q = 0; q < k; ++q) {
+      if (exhausted(q)) continue;
+      if (qmin == k || head_id(q) < head_id(qmin)) qmin = q;
+    }
+    if (qmin == k) break;  // all exhausted
+    const Tuple& row = streams[qmin].rows[cursor[qmin]];
+    const DeweyId& id = row[0].id();
+
+    // Pop entries whose subtree region ended before `id`: an entry equal to
+    // `id` (same node heading another stream) must stay — its descendants
+    // are still pending.
+    for (size_t q = 0; q < k; ++q) {
+      auto& st = stacks[q];
+      while (!st.empty() && !(*st.back().row)[0].id().IsAncestorOrSelf(id)) {
+        st.pop_back();
+      }
+    }
+
+    if (qmin == 0 || !stacks[qmin - 1].empty()) {
+      // An element is only useful with at least one candidate ancestor.
+      StackEntry entry{&row, qmin == 0 ? 0 : stacks[qmin - 1].size()};
+      if (qmin == k - 1) {
+        // Leaf: emit all solutions it closes; leaves never stay stacked.
+        chosen[k - 1] = entry.row;
+        emit(k - 2, entry.parent_ptr);
+        chosen[k - 1] = nullptr;
+      } else {
+        stacks[qmin].push_back(entry);
+      }
+    }
+    ++cursor[qmin];
+  }
+  return out;
+}
+
+namespace {
+
+/// Root-to-leaf node paths of the (sub-)pattern.
+void CollectPaths(const TreePattern& pattern, const std::vector<bool>* subset,
+                  int node, std::vector<int>* current,
+                  std::vector<std::vector<int>>* out) {
+  current->push_back(node);
+  bool has_child = false;
+  for (int c : pattern.node(node).children) {
+    if (subset != nullptr && !(*subset)[static_cast<size_t>(c)]) continue;
+    has_child = true;
+    CollectPaths(pattern, subset, c, current, out);
+  }
+  if (!has_child) out->push_back(*current);
+  current->pop_back();
+}
+
+/// The prepared leaf stream of one pattern node: predicate applied,
+/// pred-only val column dropped, root anchoring enforced, sorted by ID.
+Relation PrepareLeaf(const TreePattern& pattern, const LeafSource& leaf_source,
+                     int node) {
+  const PatternNode& n = pattern.node(node);
+  Relation rel = leaf_source(node);
+  if (node == 0 && n.edge == EdgeKind::kChild) {
+    Relation filtered;
+    filtered.schema = rel.schema;
+    for (auto& row : rel.rows) {
+      if (row[0].id().depth() == 1) filtered.rows.push_back(std::move(row));
+    }
+    rel = std::move(filtered);
+  }
+  if (n.val_pred.has_value()) {
+    int val_col = rel.schema.IndexOf(n.name + ".val");
+    XVM_CHECK(val_col >= 0);
+    rel = Select(rel, *ColEqualsConst(val_col, *n.val_pred));
+    if (!n.store_val) {
+      std::vector<int> keep;
+      for (size_t c = 0; c < rel.schema.size(); ++c) {
+        if (static_cast<int>(c) != val_col) keep.push_back(static_cast<int>(c));
+      }
+      rel = Project(rel, keep);
+    }
+  }
+  if (!IsSortedByIdCol(rel, 0)) rel = SortBy(std::move(rel), {0});
+  return rel;
+}
+
+}  // namespace
+
+Relation EvalTreePatternTwig(const TreePattern& pattern,
+                             const LeafSource& leaf_source,
+                             const std::vector<bool>* subset) {
+  XVM_CHECK(pattern.size() > 0);
+  XVM_CHECK(subset == nullptr || (*subset)[0]);
+
+  // 1. Decompose into root-to-leaf paths.
+  std::vector<std::vector<int>> paths;
+  std::vector<int> scratch;
+  CollectPaths(pattern, subset, 0, &scratch, &paths);
+
+  // 2. Prepare each node's stream once (nodes shared by several paths).
+  std::vector<Relation> leaf(pattern.size());
+  std::vector<bool> prepared(pattern.size(), false);
+  auto leaf_for = [&](int node) -> const Relation& {
+    if (!prepared[static_cast<size_t>(node)]) {
+      leaf[static_cast<size_t>(node)] = PrepareLeaf(pattern, leaf_source, node);
+      prepared[static_cast<size_t>(node)] = true;
+    }
+    return leaf[static_cast<size_t>(node)];
+  };
+
+  // 3. PathStack per path.
+  std::vector<Relation> path_results;
+  path_results.reserve(paths.size());
+  for (const auto& path : paths) {
+    std::vector<Relation> streams;
+    std::vector<Axis> axes;
+    for (int node : path) {
+      streams.push_back(leaf_for(node));
+      axes.push_back(pattern.node(node).edge == EdgeKind::kChild
+                         ? Axis::kChild
+                         : Axis::kDescendant);
+    }
+    path_results.push_back(PathStackJoin(streams, axes));
+  }
+
+  // 4. Merge path solutions on the shared prefix nodes' ID columns.
+  //    Track, per pattern node, its ID column inside the accumulated
+  //    relation.
+  std::vector<int> id_col(pattern.size(), -1);
+  auto cols_of_path = [&](const std::vector<int>& path) {
+    // Column offsets of each node's ID inside the path relation.
+    std::vector<int> offsets;
+    int off = 0;
+    for (int node : path) {
+      offsets.push_back(off);
+      off += 1 + (pattern.node(node).store_val ? 1 : 0) +
+             (pattern.node(node).store_cont ? 1 : 0);
+    }
+    return offsets;
+  };
+
+  Relation acc = std::move(path_results[0]);
+  {
+    auto offsets = cols_of_path(paths[0]);
+    for (size_t i = 0; i < paths[0].size(); ++i) {
+      id_col[static_cast<size_t>(paths[0][i])] = offsets[i];
+    }
+  }
+  for (size_t p = 1; p < paths.size(); ++p) {
+    auto offsets = cols_of_path(paths[p]);
+    std::vector<int> left_keys, right_keys;
+    std::vector<int> fresh_nodes, fresh_offsets;
+    for (size_t i = 0; i < paths[p].size(); ++i) {
+      int node = paths[p][i];
+      if (id_col[static_cast<size_t>(node)] >= 0) {
+        left_keys.push_back(id_col[static_cast<size_t>(node)]);
+        right_keys.push_back(offsets[i]);
+      } else {
+        fresh_nodes.push_back(node);
+        fresh_offsets.push_back(offsets[i]);
+      }
+    }
+    size_t left_width = acc.schema.size();
+    acc = HashJoinEq(acc, left_keys, path_results[p], right_keys);
+    // Register the fresh nodes' columns; then project away the duplicated
+    // shared prefix of the right side.
+    std::vector<int> keep;
+    for (size_t c = 0; c < left_width; ++c) keep.push_back(static_cast<int>(c));
+    for (size_t f = 0; f < fresh_nodes.size(); ++f) {
+      int node = fresh_nodes[f];
+      const PatternNode& n = pattern.node(node);
+      int src = static_cast<int>(left_width) + fresh_offsets[f];
+      id_col[static_cast<size_t>(node)] = static_cast<int>(keep.size());
+      keep.push_back(src);
+      int extra = (n.store_val ? 1 : 0) + (n.store_cont ? 1 : 0);
+      for (int e = 1; e <= extra; ++e) keep.push_back(src + e);
+    }
+    acc = Project(acc, keep);
+  }
+
+  // 5. Reorder to the canonical pre-order layout and sort by all IDs.
+  BindingLayout canon = ComputeBindingLayout(pattern, subset);
+  std::vector<int> proj;
+  std::vector<int> sort_cols;
+  for (int node : pattern.Subtree(0)) {
+    if (subset != nullptr && !(*subset)[static_cast<size_t>(node)]) continue;
+    const PatternNode& n = pattern.node(node);
+    int src = id_col[static_cast<size_t>(node)];
+    XVM_CHECK(src >= 0);
+    sort_cols.push_back(static_cast<int>(proj.size()));
+    proj.push_back(src);
+    int extra = 1;
+    if (n.store_val) proj.push_back(src + extra++);
+    if (n.store_cont) proj.push_back(src + extra++);
+  }
+  Relation result = Project(acc, proj);
+  XVM_CHECK(result.schema.size() == canon.schema.size());
+  return SortBy(std::move(result), sort_cols);
+}
+
+}  // namespace xvm

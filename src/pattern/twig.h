@@ -1,0 +1,34 @@
+#ifndef XVM_PATTERN_TWIG_H_
+#define XVM_PATTERN_TWIG_H_
+
+#include "pattern/compile.h"
+
+namespace xvm {
+
+/// Holistic twig evaluation of a tree pattern (Bruno/Koudas/Srivastava-style
+/// PathStack with branch merging), an alternative physical strategy to the
+/// per-edge structural-join pipeline of EvalTreePattern:
+///
+///  * every root-to-leaf path of the pattern is evaluated in one multi-stack
+///    pass over its leaf streams (PathStack) — no per-edge intermediate
+///    sorting;
+///  * path solutions are then merge-joined on their shared prefix nodes.
+///
+/// Produces exactly the same binding relation as EvalTreePattern (same
+/// canonical schema, sorted by all ID columns); the two are differential-
+/// tested against each other and benchmarked in bench_ablation_eval.
+Relation EvalTreePatternTwig(const TreePattern& pattern,
+                             const LeafSource& leaf_source,
+                             const std::vector<bool>* subset = nullptr);
+
+/// One PathStack pass: joins a linear chain of streams. `streams[i]` must
+/// have its ID in column 0 and be sorted by it; `axes[i]` is the edge
+/// between chain levels i-1 and i (axes[0] is ignored). Returns the chain
+/// bindings with streams' columns concatenated in chain order. Exposed for
+/// testing.
+Relation PathStackJoin(const std::vector<Relation>& streams,
+                       const std::vector<Axis>& axes);
+
+}  // namespace xvm
+
+#endif  // XVM_PATTERN_TWIG_H_

@@ -1,0 +1,31 @@
+#include "schema/delta_constraints.h"
+
+namespace xvm {
+
+std::vector<DeltaImplication> DeriveDeltaImplications(const Dtd& dtd) {
+  std::vector<DeltaImplication> out;
+  for (const auto& [label, model] : dtd.rules()) {
+    for (const auto& required : dtd.RequiredChildren(label)) {
+      out.push_back(DeltaImplication{label, required});
+    }
+  }
+  return out;
+}
+
+Status CheckDeltaConstraints(const std::vector<DeltaImplication>& implications,
+                             const DeltaTables& delta, const LabelDict& dict) {
+  for (const auto& imp : implications) {
+    LabelId ante = dict.Lookup(imp.antecedent);
+    if (ante == kInvalidLabel || delta.Empty(ante)) continue;
+    LabelId cons = dict.Lookup(imp.consequent);
+    if (cons == kInvalidLabel || delta.Empty(cons)) {
+      return Status::SchemaViolation(
+          "update rejected: inserting <" + imp.antecedent +
+          "> requires inserting <" + imp.consequent + "> (" + imp.ToString() +
+          ")");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace xvm

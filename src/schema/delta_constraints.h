@@ -1,0 +1,40 @@
+#ifndef XVM_SCHEMA_DELTA_CONSTRAINTS_H_
+#define XVM_SCHEMA_DELTA_CONSTRAINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "schema/dtd.h"
+#include "store/label_dict.h"
+#include "update/delta.h"
+
+namespace xvm {
+
+/// One Δ+ implication derived from a DTD (paper §3.3): whenever new nodes
+/// labeled `antecedent` are inserted, new nodes labeled `consequent` must be
+/// inserted too — equivalently Δ+consequent = ∅ ⇒ Δ+antecedent = ∅
+/// (Examples 3.9, 3.10).
+struct DeltaImplication {
+  std::string antecedent;
+  std::string consequent;
+
+  std::string ToString() const {
+    return "D+(" + antecedent + ") != {} => D+(" + consequent + ") != {}";
+  }
+};
+
+/// Derives the implication set from the DTD's required-children analysis:
+/// for every rule a -> model and every r required in model, Δ+a ⇒ Δ+r.
+std::vector<DeltaImplication> DeriveDeltaImplications(const Dtd& dtd);
+
+/// Runtime admission check (paper: "from the DTD rules, one can infer a set
+/// of constraints on the Δ+ tables, and check them before applying the
+/// update"): verifies all implications against the Δ+ tables. Returns
+/// SchemaViolation naming the first violated implication.
+Status CheckDeltaConstraints(const std::vector<DeltaImplication>& implications,
+                             const DeltaTables& delta, const LabelDict& dict);
+
+}  // namespace xvm
+
+#endif  // XVM_SCHEMA_DELTA_CONSTRAINTS_H_

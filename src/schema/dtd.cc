@@ -1,0 +1,463 @@
+#include "schema/dtd.h"
+
+#include <cctype>
+#include <optional>
+
+namespace xvm {
+
+std::string ContentModel::ToString() const {
+  switch (kind) {
+    case Kind::kEmpty: return "EMPTY";
+    case Kind::kAny: return "ANY";
+    case Kind::kText: return "#PCDATA";
+    case Kind::kLabel: return label;
+    case Kind::kSeq:
+    case Kind::kAlt: {
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += kind == Kind::kSeq ? ", " : " | ";
+        out += children[i].ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kStar: return children[0].ToString() + "*";
+    case Kind::kPlus: return children[0].ToString() + "+";
+    case Kind::kOpt: return children[0].ToString() + "?";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Parser for content-model expressions.
+class ModelParser {
+ public:
+  explicit ModelParser(std::string_view in) : in_(in) {}
+
+  StatusOr<ContentModel> Parse() {
+    XVM_ASSIGN_OR_RETURN(ContentModel m, ParseAltOrSeq());
+    SkipWs();
+    if (pos_ != in_.size()) return Err("trailing characters in content model");
+    return m;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : in_[pos_]; }
+  void SkipWs() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+  bool Match(char c) {
+    if (!AtEnd() && Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Err(const std::string& m) const {
+    return Status::ParseError("dtd: " + m + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  /// alt_or_seq := unit ((',' unit)* | ('|' unit)*)
+  StatusOr<ContentModel> ParseAltOrSeq() {
+    XVM_ASSIGN_OR_RETURN(ContentModel first, ParseUnit());
+    SkipWs();
+    if (Peek() != ',' && Peek() != '|') return first;
+    char sep = Peek();
+    ContentModel out;
+    out.kind = sep == ',' ? ContentModel::Kind::kSeq : ContentModel::Kind::kAlt;
+    out.children.push_back(std::move(first));
+    while (Match(sep)) {
+      XVM_ASSIGN_OR_RETURN(ContentModel next, ParseUnit());
+      out.children.push_back(std::move(next));
+      SkipWs();
+      if (Peek() == (sep == ',' ? '|' : ',')) {
+        return Err("mixed ',' and '|' without parentheses");
+      }
+    }
+    return out;
+  }
+
+  /// unit := atom ('*' | '+' | '?')?
+  StatusOr<ContentModel> ParseUnit() {
+    XVM_ASSIGN_OR_RETURN(ContentModel atom, ParseAtom());
+    SkipWs();
+    ContentModel::Kind wrap;
+    if (Match('*')) wrap = ContentModel::Kind::kStar;
+    else if (Match('+')) wrap = ContentModel::Kind::kPlus;
+    else if (Match('?')) wrap = ContentModel::Kind::kOpt;
+    else return atom;
+    ContentModel out;
+    out.kind = wrap;
+    out.children.push_back(std::move(atom));
+    return out;
+  }
+
+  /// atom := '(' alt_or_seq ')' | '#PCDATA' | NAME
+  StatusOr<ContentModel> ParseAtom() {
+    SkipWs();
+    if (Match('(')) {
+      XVM_ASSIGN_OR_RETURN(ContentModel inner, ParseAltOrSeq());
+      SkipWs();
+      if (!Match(')')) return Err("expected ')'");
+      return inner;
+    }
+    if (in_.substr(pos_, 7) == "#PCDATA") {
+      pos_ += 7;
+      ContentModel m;
+      m.kind = ContentModel::Kind::kText;
+      return m;
+    }
+    size_t start = pos_;
+    while (!AtEnd() &&
+           (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_' ||
+            Peek() == '-' || Peek() == '.' || Peek() == ':')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected a name, '(' or '#PCDATA'");
+    ContentModel m;
+    m.kind = ContentModel::Kind::kLabel;
+    m.label = std::string(in_.substr(start, pos_ - start));
+    return m;
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Dtd> Dtd::Parse(std::string_view text) {
+  Dtd dtd;
+  size_t pos = 0;
+  auto skip_ws = [&] {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  };
+  for (;;) {
+    skip_ws();
+    if (pos >= text.size()) break;
+    if (text.substr(pos, 9) == "<!ELEMENT") {
+      pos += 9;
+      skip_ws();
+      size_t nstart = pos;
+      while (pos < text.size() && !std::isspace(static_cast<unsigned char>(
+                                       text[pos]))) {
+        ++pos;
+      }
+      std::string name(text.substr(nstart, pos - nstart));
+      skip_ws();
+      size_t end = text.find('>', pos);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("dtd: unterminated ELEMENT declaration");
+      }
+      std::string_view body = text.substr(pos, end - pos);
+      pos = end + 1;
+      ContentModel model;
+      // Trim body.
+      while (!body.empty() &&
+             std::isspace(static_cast<unsigned char>(body.back()))) {
+        body.remove_suffix(1);
+      }
+      if (body == "EMPTY") {
+        model.kind = ContentModel::Kind::kEmpty;
+      } else if (body == "ANY") {
+        model.kind = ContentModel::Kind::kAny;
+      } else {
+        XVM_ASSIGN_OR_RETURN(model, ModelParser(body).Parse());
+      }
+      if (dtd.root_.empty()) dtd.root_ = name;
+      dtd.rules_[name] = std::move(model);
+    } else if (text.substr(pos, 9) == "<!ATTLIST") {
+      size_t end = text.find('>', pos);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("dtd: unterminated ATTLIST declaration");
+      }
+      pos = end + 1;
+    } else {
+      return Status::ParseError("dtd: expected <!ELEMENT or <!ATTLIST at " +
+                                std::to_string(pos));
+    }
+  }
+  if (dtd.rules_.empty()) {
+    return Status::ParseError("dtd: no element declarations");
+  }
+  return dtd;
+}
+
+const ContentModel* Dtd::Rule(const std::string& label) const {
+  auto it = rules_.find(label);
+  return it == rules_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Memo-less recursive matcher: returns the set of positions reachable by
+/// consuming a prefix of seq[from..] against `model`. Child sequences are
+/// short, so this is plenty fast.
+void MatchPositions(const ContentModel& m, const std::vector<std::string>& seq,
+                    size_t from, std::set<size_t>* out) {
+  switch (m.kind) {
+    case ContentModel::Kind::kEmpty:
+    case ContentModel::Kind::kText:
+      out->insert(from);
+      return;
+    case ContentModel::Kind::kAny:
+      for (size_t i = from; i <= seq.size(); ++i) out->insert(i);
+      return;
+    case ContentModel::Kind::kLabel:
+      if (from < seq.size() && seq[from] == m.label) out->insert(from + 1);
+      return;
+    case ContentModel::Kind::kSeq: {
+      std::set<size_t> cur = {from};
+      for (const auto& child : m.children) {
+        std::set<size_t> next;
+        for (size_t p : cur) MatchPositions(child, seq, p, &next);
+        cur = std::move(next);
+        if (cur.empty()) return;
+      }
+      out->insert(cur.begin(), cur.end());
+      return;
+    }
+    case ContentModel::Kind::kAlt:
+      for (const auto& child : m.children) {
+        MatchPositions(child, seq, from, out);
+      }
+      return;
+    case ContentModel::Kind::kOpt: {
+      out->insert(from);
+      MatchPositions(m.children[0], seq, from, out);
+      return;
+    }
+    case ContentModel::Kind::kStar:
+    case ContentModel::Kind::kPlus: {
+      std::set<size_t> reached;
+      if (m.kind == ContentModel::Kind::kStar) reached.insert(from);
+      std::set<size_t> frontier = {from};
+      for (;;) {
+        std::set<size_t> next;
+        for (size_t p : frontier) MatchPositions(m.children[0], seq, p, &next);
+        std::set<size_t> fresh;
+        for (size_t p : next) {
+          if (!reached.contains(p)) fresh.insert(p);
+        }
+        reached.insert(fresh.begin(), fresh.end());
+        // One or more iterations completed: all of `next` are valid ends.
+        reached.insert(next.begin(), next.end());
+        if (fresh.empty()) break;
+        frontier = std::move(fresh);
+      }
+      out->insert(reached.begin(), reached.end());
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+bool MatchesContentModel(const ContentModel& model,
+                         const std::vector<std::string>& seq) {
+  std::set<size_t> ends;
+  MatchPositions(model, seq, 0, &ends);
+  return ends.contains(seq.size());
+}
+
+namespace {
+
+Status ValidateElement(const Dtd& dtd, const Document& doc, NodeHandle h) {
+  const Node& n = doc.node(h);
+  if (n.kind != NodeKind::kElement) return Status::Ok();
+  const std::string& name = doc.dict().Name(n.label);
+  const ContentModel* rule = dtd.Rule(name);
+  if (rule != nullptr && rule->kind != ContentModel::Kind::kAny) {
+    std::vector<std::string> child_labels;
+    bool has_text = false;
+    for (NodeHandle c = n.first_child; c != kNullNode;
+         c = doc.node(c).next_sibling) {
+      const Node& cn = doc.node(c);
+      if (cn.kind == NodeKind::kElement) {
+        child_labels.push_back(doc.dict().Name(cn.label));
+      } else if (cn.kind == NodeKind::kText) {
+        has_text = true;
+      }
+    }
+    if (!MatchesContentModel(*rule, child_labels)) {
+      return Status::SchemaViolation(
+          "children of <" + name + "> do not match content model " +
+          rule->ToString());
+    }
+    // Text requires #PCDATA somewhere in the model.
+    if (has_text) {
+      // Quick structural scan for a kText leaf.
+      bool allows_text = false;
+      std::vector<const ContentModel*> stack = {rule};
+      while (!stack.empty()) {
+        const ContentModel* m = stack.back();
+        stack.pop_back();
+        if (m->kind == ContentModel::Kind::kText) {
+          allows_text = true;
+          break;
+        }
+        for (const auto& c : m->children) stack.push_back(&c);
+      }
+      if (!allows_text) {
+        return Status::SchemaViolation("<" + name +
+                                       "> contains text but its content "
+                                       "model has no #PCDATA");
+      }
+    }
+  }
+  for (NodeHandle c = n.first_child; c != kNullNode;
+       c = doc.node(c).next_sibling) {
+    XVM_RETURN_IF_ERROR(ValidateElement(dtd, doc, c));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Dtd::ValidateDocument(const Document& doc) const {
+  if (doc.root() == kNullNode) {
+    return Status::SchemaViolation("document has no root");
+  }
+  const std::string& root_name = doc.dict().Name(doc.node(doc.root()).label);
+  if (root_name != root_) {
+    return Status::SchemaViolation("root is <" + root_name + ">, expected <" +
+                                   root_ + ">");
+  }
+  return ValidateElement(*this, doc, doc.root());
+}
+
+Status Dtd::ValidateSubtree(const Document& doc, NodeHandle h) const {
+  return ValidateElement(*this, doc, h);
+}
+
+namespace {
+
+void CollectRequired(const ContentModel& m, std::set<std::string>* out) {
+  switch (m.kind) {
+    case ContentModel::Kind::kEmpty:
+    case ContentModel::Kind::kAny:
+    case ContentModel::Kind::kText:
+    case ContentModel::Kind::kStar:
+    case ContentModel::Kind::kOpt:
+      return;
+    case ContentModel::Kind::kLabel:
+      out->insert(m.label);
+      return;
+    case ContentModel::Kind::kSeq:
+      for (const auto& c : m.children) CollectRequired(c, out);
+      return;
+    case ContentModel::Kind::kPlus:
+      CollectRequired(m.children[0], out);
+      return;
+    case ContentModel::Kind::kAlt: {
+      // Intersection over alternatives.
+      bool first = true;
+      std::set<std::string> acc;
+      for (const auto& c : m.children) {
+        std::set<std::string> req;
+        CollectRequired(c, &req);
+        if (first) {
+          acc = std::move(req);
+          first = false;
+        } else {
+          std::set<std::string> inter;
+          for (const auto& l : acc) {
+            if (req.contains(l)) inter.insert(l);
+          }
+          acc = std::move(inter);
+        }
+      }
+      out->insert(acc.begin(), acc.end());
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::set<std::string> Dtd::RequiredChildren(const std::string& label) const {
+  std::set<std::string> out;
+  const ContentModel* rule = Rule(label);
+  if (rule != nullptr) CollectRequired(*rule, &out);
+  return out;
+}
+
+namespace {
+
+using LabelSet = std::set<std::string>;
+
+LabelSet Intersect(const LabelSet& a, const LabelSet& b) {
+  LabelSet out;
+  for (const auto& x : a) {
+    if (b.contains(x)) out.insert(x);
+  }
+  return out;
+}
+
+/// R(model, l): labels guaranteed in every word of L(model) that contains
+/// at least one `l`; nullopt when no word of L(model) contains `l`.
+std::optional<LabelSet> GuaranteedGiven(const ContentModel& m,
+                                        const std::string& l) {
+  switch (m.kind) {
+    case ContentModel::Kind::kEmpty:
+    case ContentModel::Kind::kText:
+      return std::nullopt;
+    case ContentModel::Kind::kAny:
+      // ANY can contain `l` alone: nothing else is forced.
+      return LabelSet{l};
+    case ContentModel::Kind::kLabel:
+      if (m.label == l) return LabelSet{l};
+      return std::nullopt;
+    case ContentModel::Kind::kSeq: {
+      // `l` must come from some component i; the others contribute their
+      // unconditional requirements. Intersect over the possible i.
+      std::optional<LabelSet> acc;
+      for (size_t i = 0; i < m.children.size(); ++i) {
+        std::optional<LabelSet> via = GuaranteedGiven(m.children[i], l);
+        if (!via.has_value()) continue;
+        LabelSet candidate = *via;
+        for (size_t j = 0; j < m.children.size(); ++j) {
+          if (j == i) continue;
+          CollectRequired(m.children[j], &candidate);
+        }
+        acc = acc.has_value() ? Intersect(*acc, candidate) : candidate;
+      }
+      return acc;
+    }
+    case ContentModel::Kind::kAlt: {
+      std::optional<LabelSet> acc;
+      for (const auto& c : m.children) {
+        std::optional<LabelSet> via = GuaranteedGiven(c, l);
+        if (!via.has_value()) continue;
+        acc = acc.has_value() ? Intersect(*acc, *via) : *via;
+      }
+      return acc;
+    }
+    case ContentModel::Kind::kStar:
+    case ContentModel::Kind::kPlus:
+    case ContentModel::Kind::kOpt:
+      // The iteration (or optional occurrence) containing `l` may be the
+      // only material one, so only its own guarantees carry over.
+      return GuaranteedGiven(m.children[0], l);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::set<std::string> Dtd::CoOccurringChildren(const std::string& parent,
+                                               const std::string& child) const {
+  const ContentModel* rule = Rule(parent);
+  if (rule == nullptr) return {};
+  std::optional<LabelSet> g = GuaranteedGiven(*rule, child);
+  if (!g.has_value()) return {};
+  g->erase(child);
+  return *g;
+}
+
+}  // namespace xvm

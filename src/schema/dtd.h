@@ -1,0 +1,89 @@
+#ifndef XVM_SCHEMA_DTD_H_
+#define XVM_SCHEMA_DTD_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace xvm {
+
+/// A DTD content model: a regular expression over child element labels
+/// (paper §3.3 describes DTDs as extended CFGs whose right-hand sides are
+/// regular expressions over terminals and non-terminals).
+struct ContentModel {
+  enum class Kind : uint8_t {
+    kEmpty,  // ε / EMPTY
+    kAny,    // ANY
+    kText,   // #PCDATA
+    kLabel,  // one child element label
+    kSeq,    // concatenation (a, b, c)
+    kAlt,    // disjunction (a | b)
+    kStar,   // x*
+    kPlus,   // x+
+    kOpt,    // x?
+  };
+
+  Kind kind = Kind::kEmpty;
+  std::string label;                    // for kLabel
+  std::vector<ContentModel> children;   // for kSeq / kAlt / kStar / kPlus / kOpt
+
+  std::string ToString() const;
+};
+
+/// A parsed DTD: one content-model rule per element label. Elements without
+/// a rule are unconstrained (treated as ANY).
+class Dtd {
+ public:
+  /// Parses standard DTD element declarations, e.g.
+  ///   <!ELEMENT d1 (a)+>  <!ELEMENT a (b+)>  <!ELEMENT b (c)>
+  ///   <!ELEMENT c EMPTY>  <!ELEMENT x (#PCDATA)>  <!ELEMENT y ANY>
+  /// ATTLIST declarations are accepted and ignored. The first declared
+  /// element is taken as the document root.
+  static StatusOr<Dtd> Parse(std::string_view text);
+
+  const std::string& root() const { return root_; }
+  bool HasRule(const std::string& label) const {
+    return rules_.contains(label);
+  }
+  const ContentModel* Rule(const std::string& label) const;
+  const std::map<std::string, ContentModel>& rules() const { return rules_; }
+
+  /// Validates the whole document: root label matches, and every element's
+  /// child-element sequence is a word of its content model. Text children
+  /// require #PCDATA in the model; attributes are unconstrained.
+  Status ValidateDocument(const Document& doc) const;
+
+  /// Validates one subtree (e.g. an insert payload tree) against the rules,
+  /// without anchoring its root to the DTD root.
+  Status ValidateSubtree(const Document& doc, NodeHandle h) const;
+
+  /// Labels that must occur as a child in *every* word of `label`'s content
+  /// model — the source of the paper's Δ+ implications (Examples 3.9/3.10:
+  /// from `b -> c`, Δ+b ≠ ∅ ⇒ Δ+c ≠ ∅, contrapositive Δ+c = ∅ ⇒ Δ+b = ∅).
+  std::set<std::string> RequiredChildren(const std::string& label) const;
+
+  /// Labels that must co-occur with `child` in every word of `parent`'s
+  /// content model that contains `child` (excluding `child` itself).
+  /// Example 3.10: under d2 -> (a, b, c)+, any insertion of an `a` child
+  /// "must occur with b and c elements": CoOccurringChildren("d2", "a") =
+  /// {b, c}. Empty when `child` cannot occur or nothing is forced.
+  std::set<std::string> CoOccurringChildren(const std::string& parent,
+                                            const std::string& child) const;
+
+ private:
+  std::string root_;
+  std::map<std::string, ContentModel> rules_;
+};
+
+/// True iff the child-label sequence `seq` (element labels only) is a word
+/// of `model`. Exposed for testing.
+bool MatchesContentModel(const ContentModel& model,
+                         const std::vector<std::string>& seq);
+
+}  // namespace xvm
+
+#endif  // XVM_SCHEMA_DTD_H_

@@ -1,0 +1,54 @@
+#include "store/canonical.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace xvm {
+
+const CanonicalRelation StoreIndex::kEmpty;
+
+void StoreIndex::Build() {
+  relations_.clear();
+  // AllNodes() is already in document order, so plain appends keep each
+  // relation sorted.
+  for (NodeHandle h : doc_->AllNodes()) {
+    relations_[doc_->node(h).label].nodes_.push_back(h);
+  }
+}
+
+void StoreIndex::OnNodesAdded(const std::vector<NodeHandle>& added) {
+  for (NodeHandle h : added) {
+    const Node& n = doc_->node(h);
+    XVM_CHECK(n.alive);
+    auto& vec = relations_[n.label].nodes_;
+    auto it = std::upper_bound(vec.begin(), vec.end(), h,
+                               [this](NodeHandle a, NodeHandle b) {
+                                 return doc_->node(a).id < doc_->node(b).id;
+                               });
+    vec.insert(it, h);
+  }
+}
+
+void StoreIndex::OnNodesRemoved(const std::vector<NodeHandle>& removed) {
+  for (NodeHandle h : removed) {
+    auto it = relations_.find(doc_->node(h).label);
+    if (it == relations_.end()) continue;
+    auto& vec = it->second.nodes_;
+    auto pos = std::find(vec.begin(), vec.end(), h);
+    if (pos != vec.end()) vec.erase(pos);
+  }
+}
+
+const CanonicalRelation& StoreIndex::Relation(LabelId label) const {
+  auto it = relations_.find(label);
+  return it == relations_.end() ? kEmpty : it->second;
+}
+
+size_t StoreIndex::TotalEntries() const {
+  size_t total = 0;
+  for (const auto& [label, rel] : relations_) total += rel.size();
+  return total;
+}
+
+}  // namespace xvm

@@ -1,0 +1,67 @@
+#ifndef XVM_STORE_CANONICAL_H_
+#define XVM_STORE_CANONICAL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "xml/document.h"
+
+namespace xvm {
+
+/// The virtual canonical relation R_a of a label `a` in a document d
+/// (paper §2.2): the list of (ID, val, cont) tuples of all a-labeled nodes,
+/// sorted in document order. We store node handles sorted by structural ID;
+/// `val` and `cont` are computed from the document on demand, which is what
+/// makes the relation "virtual".
+class CanonicalRelation {
+ public:
+  CanonicalRelation() = default;
+
+  /// Nodes in document order.
+  const std::vector<NodeHandle>& nodes() const { return nodes_; }
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+ private:
+  friend class StoreIndex;
+  std::vector<NodeHandle> nodes_;
+};
+
+/// Maintains the canonical relations of one document. The relations are the
+/// leaves of every view's sub-pattern lattice; the paper assumes their
+/// maintenance (R_a := R_a ∪ Δ+_a, R_a := R_a \ Δ−_a) happens as part of
+/// applying the update to the store — which is exactly what
+/// OnNodesAdded/OnNodesRemoved implement.
+class StoreIndex {
+ public:
+  explicit StoreIndex(const Document* doc) : doc_(doc) {}
+
+  StoreIndex(const StoreIndex&) = delete;
+  StoreIndex& operator=(const StoreIndex&) = delete;
+
+  /// (Re)builds all relations from the current document state.
+  void Build();
+
+  /// Registers freshly inserted nodes (any labels, any order).
+  void OnNodesAdded(const std::vector<NodeHandle>& added);
+
+  /// Unregisters deleted nodes.
+  void OnNodesRemoved(const std::vector<NodeHandle>& removed);
+
+  /// The relation for `label`; an empty static relation if absent.
+  const CanonicalRelation& Relation(LabelId label) const;
+
+  const Document& doc() const { return *doc_; }
+
+  /// Sum of relation sizes (diagnostics).
+  size_t TotalEntries() const;
+
+ private:
+  const Document* doc_;
+  std::unordered_map<LabelId, CanonicalRelation> relations_;
+  static const CanonicalRelation kEmpty;
+};
+
+}  // namespace xvm
+
+#endif  // XVM_STORE_CANONICAL_H_

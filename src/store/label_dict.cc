@@ -1,0 +1,28 @@
+#include "store/label_dict.h"
+
+#include "common/status.h"
+
+namespace xvm {
+
+LabelDict::LabelDict() { text_label_ = Intern("#text"); }
+
+LabelId LabelDict::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+LabelId LabelDict::Lookup(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidLabel : it->second;
+}
+
+const std::string& LabelDict::Name(LabelId id) const {
+  XVM_CHECK(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace xvm

@@ -1,0 +1,44 @@
+#ifndef XVM_STORE_LABEL_DICT_H_
+#define XVM_STORE_LABEL_DICT_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ids/dewey.h"
+
+namespace xvm {
+
+/// Interns XML node labels (element names, "@attr" attribute names, and the
+/// reserved "#text" label) into dense LabelIds. Shared by the document, the
+/// canonical-relation store, tree patterns and XPath expressions so that all
+/// subsystems compare labels as integers.
+class LabelDict {
+ public:
+  LabelDict();
+
+  /// Returns the id for `name`, interning it on first use.
+  LabelId Intern(std::string_view name);
+
+  /// Returns the id for `name` or kInvalidLabel if never interned.
+  LabelId Lookup(std::string_view name) const;
+
+  /// Resolves an id back to its name. Requires a valid id.
+  const std::string& Name(LabelId id) const;
+
+  /// Number of interned labels.
+  size_t size() const { return names_.size(); }
+
+  /// Reserved label of text nodes ("#text").
+  LabelId text_label() const { return text_label_; }
+
+ private:
+  std::unordered_map<std::string, LabelId> index_;
+  std::vector<std::string> names_;
+  LabelId text_label_;
+};
+
+}  // namespace xvm
+
+#endif  // XVM_STORE_LABEL_DICT_H_

@@ -1,0 +1,112 @@
+#include "update/delta.h"
+
+#include <algorithm>
+
+namespace xvm {
+
+const std::vector<DeltaRow> DeltaTables::kEmpty;
+
+const std::vector<DeltaRow>& DeltaTables::ForLabel(LabelId label) const {
+  auto it = tables_.find(label);
+  return it == tables_.end() ? kEmpty : it->second;
+}
+
+std::vector<LabelId> DeltaTables::Labels() const {
+  std::vector<LabelId> out;
+  out.reserve(tables_.size());
+  for (const auto& [label, rows] : tables_) out.push_back(label);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t DeltaTables::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [label, rows] : tables_) total += rows.size();
+  return total;
+}
+
+bool DeltaTables::AnyAnchorHasAncestorOrSelfLabeled(LabelId label) const {
+  for (const auto& id : anchor_ids_) {
+    if (id.HasAncestorOrSelfLabeled(label)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+void SortTables(
+    std::unordered_map<LabelId, std::vector<DeltaRow>>* tables) {
+  for (auto& [label, rows] : *tables) {
+    std::sort(rows.begin(), rows.end(),
+              [](const DeltaRow& a, const DeltaRow& b) { return a.id < b.id; });
+  }
+}
+
+}  // namespace
+
+DeltaTables ComputeDeltaPlus(const Document& doc, const ApplyResult& applied,
+                             PhaseTimer* timer, const DeltaNeeds* needs) {
+  WallTimer watch;
+  DeltaTables delta;
+  delta.sign_ = DeltaTables::Sign::kPlus;
+  delta.anchor_ids_ = applied.insert_target_ids;
+  for (NodeHandle h : applied.inserted_nodes) {
+    const Node& n = doc.node(h);
+    DeltaRow row;
+    row.id = n.id;
+    if (needs == nullptr || needs->val_labels.contains(n.label)) {
+      row.val = doc.StringValue(h);
+    }
+    if (needs == nullptr || needs->cont_labels.contains(n.label)) {
+      row.cont = doc.Content(h);
+    }
+    delta.tables_[n.label].push_back(std::move(row));
+  }
+  SortTables(&delta.tables_);
+  if (timer != nullptr) timer->Add(phase::kComputeDeltas, watch.ElapsedMs());
+  return delta;
+}
+
+DeltaTables ComputeDeltaMinus(const Document& doc, const Pul& pul,
+                              PhaseTimer* timer,
+                              const std::set<LabelId>* capture_val_labels) {
+  WallTimer watch;
+  DeltaTables delta;
+  delta.sign_ = DeltaTables::Sign::kMinus;
+  // Skip roots nested under other doomed roots: their nodes are collected
+  // once, from the outermost root (mirrors ApplyPul's skip of dead targets).
+  std::vector<NodeHandle> roots;
+  for (const auto& del : pul.deletes) {
+    if (doc.IsAlive(del.target)) roots.push_back(del.target);
+  }
+  std::sort(roots.begin(), roots.end(), [&doc](NodeHandle a, NodeHandle b) {
+    return doc.node(a).id < doc.node(b).id;
+  });
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  std::vector<NodeHandle> outermost;
+  for (NodeHandle r : roots) {
+    if (!outermost.empty() &&
+        doc.node(outermost.back()).id.IsAncestorOrSelf(doc.node(r).id)) {
+      continue;
+    }
+    outermost.push_back(r);
+  }
+  for (NodeHandle r : outermost) {
+    delta.anchor_ids_.push_back(doc.node(r).id);
+    for (NodeHandle h : doc.SubtreeNodes(r)) {
+      const Node& n = doc.node(h);
+      DeltaRow row;
+      row.id = n.id;
+      if (capture_val_labels != nullptr &&
+          capture_val_labels->contains(n.label)) {
+        row.val = doc.StringValue(h);
+      }
+      delta.tables_[n.label].push_back(std::move(row));
+    }
+  }
+  SortTables(&delta.tables_);
+  if (timer != nullptr) timer->Add(phase::kComputeDeltas, watch.ElapsedMs());
+  return delta;
+}
+
+}  // namespace xvm

@@ -1,0 +1,131 @@
+#include "view/costmodel.h"
+
+#include <algorithm>
+
+namespace xvm {
+
+UpdateProfile UpdateProfile::FromObservedDeltas(
+    const std::vector<std::unordered_map<std::string, size_t>>& samples) {
+  UpdateProfile profile;
+  if (samples.empty()) return profile;
+  std::unordered_map<std::string, double> totals;
+  for (const auto& sample : samples) {
+    for (const auto& [label, rows] : sample) {
+      totals[label] += static_cast<double>(rows);
+    }
+  }
+  for (const auto& [label, total] : totals) {
+    profile.Set(label, total / static_cast<double>(samples.size()));
+  }
+  return profile;
+}
+
+namespace {
+
+/// Probability proxy that a term whose Δ-set is `delta_set` fires under the
+/// profile: the product over Δ-nodes of min(1, rate(label)) — a term needs
+/// *every* Δ table non-empty (Prop. 3.6).
+double FireProbability(const TreePattern& pattern, const NodeSet& delta_set,
+                       const UpdateProfile& profile) {
+  double p = 1.0;
+  for (size_t i = 0; i < delta_set.size(); ++i) {
+    if (!delta_set[i]) continue;
+    p *= std::min(1.0, profile.RateOf(pattern.node(static_cast<int>(i)).label));
+    if (p == 0.0) return 0.0;
+  }
+  return p;
+}
+
+/// Work proxy for evaluating the sub-pattern `nodes` from the leaves: the
+/// summed canonical-relation cardinalities (structural joins are linear in
+/// their inputs).
+double LeafEvalCost(const TreePattern& pattern, const StoreIndex& store,
+                    const NodeSet& nodes) {
+  double cost = 0;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (!nodes[i]) continue;
+    LabelId label =
+        store.doc().dict().Lookup(pattern.node(static_cast<int>(i)).label);
+    if (label != kInvalidLabel) {
+      cost += static_cast<double>(store.Relation(label).size());
+    }
+  }
+  return cost;
+}
+
+/// Work proxy for the Δ side of a term under the profile.
+double DeltaEvalCost(const TreePattern& pattern, const NodeSet& delta_set,
+                     const UpdateProfile& profile) {
+  double cost = 0;
+  for (size_t i = 0; i < delta_set.size(); ++i) {
+    if (!delta_set[i]) continue;
+    cost += profile.RateOf(pattern.node(static_cast<int>(i)).label);
+  }
+  return cost;
+}
+
+}  // namespace
+
+std::vector<SnowcapScore> ScoreSnowcaps(const TreePattern& pattern,
+                                        const StoreIndex& store,
+                                        const UpdateProfile& profile) {
+  const size_t k = pattern.size();
+  std::vector<SnowcapScore> scores;
+  for (const NodeSet& delta_set : EnumerateDeltaSets(pattern)) {
+    NodeSet r_part = NodeSetComplement(delta_set);
+    if (NodeSetCount(r_part) == 0) continue;  // full-Δ term needs no t_R
+    double p = FireProbability(pattern, delta_set, profile);
+
+    // Locate or create the score entry for this R-part.
+    SnowcapScore* entry = nullptr;
+    for (auto& s : scores) {
+      if (s.nodes == r_part) {
+        entry = &s;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      scores.push_back(SnowcapScore{r_part, 0, 0});
+      entry = &scores.back();
+    }
+    // Materializing r_part saves recomputing it from leaves each time this
+    // term fires.
+    entry->benefit += p * LeafEvalCost(pattern, store, r_part);
+  }
+  // Upkeep: each materialized snowcap S must itself absorb the terms of its
+  // own sub-lattice whenever they fire.
+  for (auto& s : scores) {
+    for (const NodeSet& ds : EnumerateDeltaSetsWithin(pattern, s.nodes)) {
+      double p = FireProbability(pattern, ds, profile);
+      if (p == 0.0) continue;
+      s.maintenance += p * DeltaEvalCost(pattern, ds, profile);
+      // Joining against the still-materialized rest of S.
+      NodeSet rest(s.nodes.size(), false);
+      for (size_t i = 0; i < s.nodes.size(); ++i) {
+        rest[i] = s.nodes[i] && !ds[i];
+      }
+      s.maintenance += p * LeafEvalCost(pattern, store, rest) * 0.1;
+    }
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const SnowcapScore& a, const SnowcapScore& b) {
+              if (a.net() != b.net()) return a.net() > b.net();
+              return NodeSetCount(a.nodes) < NodeSetCount(b.nodes);
+            });
+  (void)k;
+  return scores;
+}
+
+std::vector<NodeSet> ChooseSnowcaps(const TreePattern& pattern,
+                                    const StoreIndex& store,
+                                    const UpdateProfile& profile,
+                                    size_t max_snowcaps) {
+  std::vector<NodeSet> chosen;
+  for (const auto& s : ScoreSnowcaps(pattern, store, profile)) {
+    if (s.net() <= 0 || chosen.size() >= max_snowcaps) break;
+    chosen.push_back(s.nodes);
+  }
+  return chosen;
+}
+
+}  // namespace xvm

@@ -1,0 +1,65 @@
+#ifndef XVM_VIEW_COSTMODEL_H_
+#define XVM_VIEW_COSTMODEL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "store/canonical.h"
+#include "view/terms.h"
+
+namespace xvm {
+
+/// An update profile (paper §3.5): how often each label is expected to gain
+/// or lose nodes per statement, "obtained by analyzing the application code
+/// ... or extracted from execution logs". Rates are expected Δ rows per
+/// statement; 0 means the label is never touched.
+class UpdateProfile {
+ public:
+  UpdateProfile() = default;
+
+  void Set(const std::string& label, double rate) { rates_[label] = rate; }
+  double RateOf(const std::string& label) const {
+    auto it = rates_.find(label);
+    return it == rates_.end() ? 0.0 : it->second;
+  }
+
+  /// Builds a profile by observing a sample workload: each statement's
+  /// Δ tables contribute their per-label row counts; rates are averages.
+  static UpdateProfile FromObservedDeltas(
+      const std::vector<std::unordered_map<std::string, size_t>>& samples);
+
+ private:
+  std::unordered_map<std::string, double> rates_;
+};
+
+/// The cost model's verdict for one candidate snowcap.
+struct SnowcapScore {
+  NodeSet nodes;
+  double benefit = 0;      // expected per-statement term-eval work saved
+  double maintenance = 0;  // expected per-statement upkeep work
+  double net() const { return benefit - maintenance; }
+};
+
+/// Cost-based choice of materialized snowcaps (paper §3.5: "the optimal
+/// choice of snowcaps is a cost-based optimization decision"). For every
+/// proper snowcap S of the pattern:
+///   * benefit  = Σ over surviving terms whose R-part is S of
+///                P(term fires under the profile) × cost of recomputing S
+///                from the canonical relations (Σ |R_label| over S);
+///   * upkeep   = Σ over S's own delta-sets of P(fires) × the Δ-side work.
+/// Snowcaps with positive net are returned, best first, at most
+/// `max_snowcaps` of them. Statistics come from the store's current
+/// relation cardinalities (the XSKETCH role in the paper).
+std::vector<SnowcapScore> ScoreSnowcaps(const TreePattern& pattern,
+                                        const StoreIndex& store,
+                                        const UpdateProfile& profile);
+
+std::vector<NodeSet> ChooseSnowcaps(const TreePattern& pattern,
+                                    const StoreIndex& store,
+                                    const UpdateProfile& profile,
+                                    size_t max_snowcaps);
+
+}  // namespace xvm
+
+#endif  // XVM_VIEW_COSTMODEL_H_

@@ -1,0 +1,68 @@
+#include "view/deferred.h"
+
+namespace xvm {
+
+DeferredView::DeferredView(ViewDefinition def, Document* doc,
+                           StoreIndex* store, LatticeStrategy strategy)
+    : inner_(std::move(def), store, strategy), doc_(doc), store_(store) {}
+
+void DeferredView::Initialize() { inner_.Initialize(); }
+
+Status DeferredView::Apply(const UpdateStmt& stmt) {
+  XVM_ASSIGN_OR_RETURN(Pul pul, ComputePul(*doc_, stmt, &timing_));
+  PendingUpdate pending;
+  pending.kind = stmt.kind;
+  if (stmt.kind == UpdateStmt::Kind::kDelete) {
+    std::set<LabelId> needs = inner_.DeltaMinusValLabelIds();
+    pending.deltas = ComputeDeltaMinus(*doc_, pul, &timing_, &needs);
+    ApplyResult applied = ApplyPul(doc_, pul, nullptr);
+    pending.deleted_nodes = std::move(applied.deleted_nodes);
+  } else {
+    ApplyResult applied = ApplyPul(doc_, pul, nullptr);
+    DeltaNeeds needs = inner_.DeltaPlusNeeds();
+    pending.deltas = ComputeDeltaPlus(*doc_, applied, &timing_, &needs);
+    pending.inserted_nodes = std::move(applied.inserted_nodes);
+  }
+  queue_.push_back(std::move(pending));
+  return Status::Ok();
+}
+
+void DeferredView::Flush() {
+  bool fallback = false;
+  while (!queue_.empty()) {
+    PendingUpdate pending = std::move(queue_.front());
+    queue_.pop_front();
+    if (!fallback) {
+      MaintenanceStats stats;
+      if (pending.kind == UpdateStmt::Kind::kDelete) {
+        inner_.PropagateDelete(pending.deltas, &timing_, &stats);
+      } else {
+        inner_.PropagateInsert(pending.deltas, nullptr, &timing_, &stats);
+      }
+      fallback = stats.recompute_fallback;
+    }
+    // Roll the store forward regardless; later queue entries (and the
+    // fallback recompute) need it at the matching state. Nodes inserted by
+    // this statement but deleted again by a *later queued* statement are
+    // skipped: they can only ever appear on the Δ side of later terms (they
+    // are in that statement's Δ−), never as surviving R rows.
+    store_->OnNodesRemoved(pending.deleted_nodes);
+    std::vector<NodeHandle> alive;
+    alive.reserve(pending.inserted_nodes.size());
+    for (NodeHandle h : pending.inserted_nodes) {
+      if (doc_->IsAlive(h)) alive.push_back(h);
+    }
+    store_->OnNodesAdded(alive);
+  }
+  if (fallback) {
+    ScopedPhase phase(&timing_, phase::kExecuteUpdate);
+    inner_.RecomputeFromStore();
+  }
+}
+
+const MaterializedView& DeferredView::Read() {
+  Flush();
+  return inner_.view();
+}
+
+}  // namespace xvm

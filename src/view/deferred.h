@@ -1,0 +1,65 @@
+#ifndef XVM_VIEW_DEFERRED_H_
+#define XVM_VIEW_DEFERRED_H_
+
+#include <deque>
+#include <memory>
+
+#include "common/status.h"
+#include "view/maintain.h"
+
+namespace xvm {
+
+/// Deferred (lazy) maintenance (paper §5: "when a sequence of updates is
+/// applied to the document, their propagation to the views may be deferred,
+/// and possibly applied in lazy mode, i.e., only when the view data is
+/// consulted by a query").
+///
+/// Each statement is applied to the *document* immediately; its Δ tables
+/// and node lists are queued, and neither the canonical relations nor the
+/// view advance until the view is read. Flush() then replays the queue:
+/// propagate statement i against the store state as of statement i-1, then
+/// roll the store forward — so every union term sees exactly the R
+/// relations the immediate mode would have seen.
+class DeferredView {
+ public:
+  DeferredView(ViewDefinition def, Document* doc, StoreIndex* store,
+               LatticeStrategy strategy);
+
+  /// Initial evaluation (store must be built and current).
+  void Initialize();
+
+  const ViewDefinition& def() const { return inner_.def(); }
+  size_t pending() const { return queue_.size(); }
+
+  /// Applies the statement to the document, defers the propagation and the
+  /// store roll-forward.
+  Status Apply(const UpdateStmt& stmt);
+
+  /// Consults the view: flushes the queue first. Returns the up-to-date
+  /// content.
+  const MaterializedView& Read();
+
+  /// Propagates everything pending (Read() calls this implicitly).
+  void Flush();
+
+  /// Accumulated propagation timing across flushes.
+  const PhaseTimer& timing() const { return timing_; }
+
+ private:
+  struct PendingUpdate {
+    UpdateStmt::Kind kind;
+    DeltaTables deltas;
+    std::vector<NodeHandle> inserted_nodes;
+    std::vector<NodeHandle> deleted_nodes;
+  };
+
+  MaintainedView inner_;
+  Document* doc_;
+  StoreIndex* store_;
+  std::deque<PendingUpdate> queue_;
+  PhaseTimer timing_;
+};
+
+}  // namespace xvm
+
+#endif  // XVM_VIEW_DEFERRED_H_

@@ -1,0 +1,80 @@
+#include "view/lattice.h"
+
+#include "common/status.h"
+
+namespace xvm {
+
+ViewLattice::ViewLattice(const TreePattern* pattern, LatticeStrategy strategy)
+    : pattern_(pattern), strategy_(strategy) {
+  if (strategy_ != LatticeStrategy::kSnowcaps) return;
+  const size_t k = pattern_->size();
+  NodeSet current(k, false);
+  current[0] = true;  // {root}
+  // Chain of proper snowcaps, sizes 1 .. k-1.
+  for (size_t size = 1; size + 1 <= k; ++size) {
+    MaterializedSnowcap sc;
+    sc.nodes = current;
+    sc.layout = ComputeBindingLayout(*pattern_, &sc.nodes);
+    snowcaps_.push_back(std::move(sc));
+    if (size + 1 >= k) break;
+    // Grow: first pre-order node not yet included whose parent is included.
+    bool grown = false;
+    for (size_t i = 1; i < k && !grown; ++i) {
+      if (current[i]) continue;
+      int p = pattern_->node(static_cast<int>(i)).parent;
+      if (current[static_cast<size_t>(p)]) {
+        current[i] = true;
+        grown = true;
+      }
+    }
+    XVM_CHECK(grown);
+  }
+}
+
+ViewLattice::ViewLattice(const TreePattern* pattern,
+                         std::vector<NodeSet> custom)
+    : pattern_(pattern), strategy_(LatticeStrategy::kSnowcaps) {
+  for (auto& nodes : custom) {
+    XVM_CHECK(nodes.size() == pattern_->size());
+    XVM_CHECK(nodes[0]);  // contains the root
+    XVM_CHECK(NodeSetCount(nodes) < pattern_->size());  // proper subset
+    for (size_t i = 1; i < nodes.size(); ++i) {
+      if (nodes[i]) {
+        int p = pattern_->node(static_cast<int>(i)).parent;
+        XVM_CHECK(nodes[static_cast<size_t>(p)]);  // upward-closed
+      }
+    }
+    MaterializedSnowcap sc;
+    sc.nodes = std::move(nodes);
+    sc.layout = ComputeBindingLayout(*pattern_, &sc.nodes);
+    snowcaps_.push_back(std::move(sc));
+  }
+  // Ascending size, as the chain constructor guarantees (maintenance
+  // iterates descending to read pre-update data).
+  std::sort(snowcaps_.begin(), snowcaps_.end(),
+            [](const MaterializedSnowcap& a, const MaterializedSnowcap& b) {
+              return NodeSetCount(a.nodes) < NodeSetCount(b.nodes);
+            });
+}
+
+void ViewLattice::Materialize(const StoreIndex& store) {
+  for (auto& sc : snowcaps_) {
+    sc.data = EvalTreePattern(*pattern_, StoreLeafSource(&store, pattern_),
+                              &sc.nodes);
+  }
+}
+
+const MaterializedSnowcap* ViewLattice::Find(const NodeSet& r_part) const {
+  for (const auto& sc : snowcaps_) {
+    if (sc.nodes == r_part) return &sc;
+  }
+  return nullptr;
+}
+
+size_t ViewLattice::TotalTuples() const {
+  size_t total = 0;
+  for (const auto& sc : snowcaps_) total += sc.data.size();
+  return total;
+}
+
+}  // namespace xvm

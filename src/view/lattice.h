@@ -1,0 +1,69 @@
+#ifndef XVM_VIEW_LATTICE_H_
+#define XVM_VIEW_LATTICE_H_
+
+#include <vector>
+
+#include "pattern/compile.h"
+#include "view/terms.h"
+
+namespace xvm {
+
+/// Which lattice nodes are materialized as auxiliary structures (§6.7).
+enum class LatticeStrategy : uint8_t {
+  /// "Snowcaps": materialize a small sufficient set of snowcaps — one per
+  /// lattice level, forming a chain from {root} up to all-but-one node —
+  /// plus the leaves (which the store maintains anyway).
+  kSnowcaps,
+  /// "Leaves": only the canonical relations; internal joins are recomputed
+  /// on the fly at each maintenance step.
+  kLeaves,
+};
+
+/// One materialized snowcap: the sub-pattern's node set, its binding layout
+/// and the full-binding relation kept up to date across updates.
+struct MaterializedSnowcap {
+  NodeSet nodes;
+  BindingLayout layout;
+  Relation data;
+};
+
+/// The view's auxiliary-structure manager. With kSnowcaps it materializes
+/// the chain s_1 ⊂ s_2 ⊂ ... ⊂ s_{k-1} (s_i has i nodes; each s_{i+1} adds
+/// the first pre-order node whose parent is already in s_i) — the paper's
+/// "one snowcap at each level, pick the first" choice (§6.7). With kLeaves
+/// nothing is materialized.
+class ViewLattice {
+ public:
+  ViewLattice() = default;
+  ViewLattice(const TreePattern* pattern, LatticeStrategy strategy);
+
+  /// Materializes exactly the given snowcaps (each an upward-closed proper
+  /// subset containing the root) — used by the §3.5 cost-based chooser.
+  ViewLattice(const TreePattern* pattern, std::vector<NodeSet> custom);
+
+  LatticeStrategy strategy() const { return strategy_; }
+
+  /// Populates every materialized snowcap from the store (view creation).
+  void Materialize(const StoreIndex& store);
+
+  /// Returns the materialized snowcap whose node set equals `r_part`, or
+  /// nullptr (then the caller recomputes that sub-pattern from the leaves).
+  const MaterializedSnowcap* Find(const NodeSet& r_part) const;
+
+  std::vector<MaterializedSnowcap>& snowcaps() { return snowcaps_; }
+  const std::vector<MaterializedSnowcap>& snowcaps() const {
+    return snowcaps_;
+  }
+
+  /// Total materialized tuples across snowcaps (diagnostics / §6.7 plots).
+  size_t TotalTuples() const;
+
+ private:
+  const TreePattern* pattern_ = nullptr;
+  LatticeStrategy strategy_ = LatticeStrategy::kSnowcaps;
+  std::vector<MaterializedSnowcap> snowcaps_;
+};
+
+}  // namespace xvm
+
+#endif  // XVM_VIEW_LATTICE_H_

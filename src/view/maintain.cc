@@ -1,0 +1,539 @@
+#include "view/maintain.h"
+
+#include <algorithm>
+
+namespace xvm {
+
+DeletedRegion::DeletedRegion(std::vector<DeweyId> roots)
+    : roots_(std::move(roots)) {}
+
+bool DeletedRegion::Covers(const DeweyId& id) const {
+  if (roots_.empty()) return false;
+  // The only root that can be an ancestor-or-self of `id` is the greatest
+  // root <= id (roots are non-nested and sorted in document order).
+  auto it = std::upper_bound(roots_.begin(), roots_.end(), id);
+  if (it == roots_.begin()) return false;
+  --it;
+  return it->IsAncestorOrSelf(id);
+}
+
+namespace {
+
+/// First anchor >= id decides whether any anchor lies in id's subtree
+/// (subtrees are contiguous ID ranges in document order).
+bool AnyAnchorAtOrBelow(const std::vector<DeweyId>& sorted_anchors,
+                        const DeweyId& id) {
+  auto it = std::lower_bound(sorted_anchors.begin(), sorted_anchors.end(), id);
+  return it != sorted_anchors.end() && id.IsAncestorOrSelf(*it);
+}
+
+/// True iff some anchor lies *strictly* below id.
+bool AnyAnchorStrictlyBelow(const std::vector<DeweyId>& sorted_anchors,
+                            const DeweyId& id) {
+  auto it = std::upper_bound(sorted_anchors.begin(), sorted_anchors.end(), id);
+  return it != sorted_anchors.end() && id.IsAncestorOf(*it);
+}
+
+/// Column layout of EvalPatternSubtree's output: pre-order over the subtree
+/// of `root` restricted to `within`.
+void SubtreeLayoutRec(const TreePattern& pattern, const NodeSet& within,
+                      int node, int* next_col,
+                      std::vector<NodeLayout>* per_node) {
+  const PatternNode& n = pattern.node(node);
+  NodeLayout& l = (*per_node)[static_cast<size_t>(node)];
+  l.id_col = (*next_col)++;
+  if (n.store_val) l.val_col = (*next_col)++;
+  if (n.store_cont) l.cont_col = (*next_col)++;
+  for (int c : n.children) {
+    if (within[static_cast<size_t>(c)]) {
+      SubtreeLayoutRec(pattern, within, c, next_col, per_node);
+    }
+  }
+}
+
+}  // namespace
+
+MaintainedView::MaintainedView(ViewDefinition def, StoreIndex* store,
+                               LatticeStrategy strategy)
+    : def_(std::move(def)),
+      store_(store),
+      lattice_(&def_.pattern(), strategy),
+      view_(def_.tuple_schema()) {
+  PrecomputeTermSets();
+}
+
+MaintainedView::MaintainedView(ViewDefinition def, StoreIndex* store,
+                               std::vector<NodeSet> snowcaps)
+    : def_(std::move(def)),
+      store_(store),
+      lattice_(&def_.pattern(), std::move(snowcaps)),
+      view_(def_.tuple_schema()) {
+  PrecomputeTermSets();
+}
+
+void MaintainedView::PrecomputeTermSets() {
+  const TreePattern& pat = def_.pattern();
+  delta_sets_ = EnumerateDeltaSets(pat);
+  for (const auto& sc : lattice_.snowcaps()) {
+    snowcap_delta_sets_.push_back(EnumerateDeltaSetsWithin(pat, sc.nodes));
+  }
+  full_layout_ = ComputeBindingLayout(pat, nullptr);
+  stored_cols_ = StoredColumnIndices(pat, full_layout_);
+  for (int c : stored_cols_) {
+    if (full_layout_.schema.col(static_cast<size_t>(c)).kind ==
+        ValueKind::kId) {
+      removal_cols_.push_back(c);
+    }
+  }
+  // Per-node column positions inside the *stored* tuple.
+  stored_node_layout_.resize(pat.size());
+  int col = 0;
+  for (size_t i = 0; i < pat.size(); ++i) {
+    const PatternNode& n = pat.node(static_cast<int>(i));
+    if (n.store_id) stored_node_layout_[i].id_col = col++;
+    if (n.store_val) stored_node_layout_[i].val_col = col++;
+    if (n.store_cont) stored_node_layout_[i].cont_col = col++;
+  }
+}
+
+void MaintainedView::Initialize() { RecomputeFromStore(); }
+
+bool MaintainedView::TermPruned(const NodeSet& delta_set,
+                                const NodeSet& within,
+                                const DeltaTables& delta) const {
+  const TreePattern& pat = def_.pattern();
+  const LabelDict& dict = store_->doc().dict();
+  if (options_.prune_empty_delta &&
+      TermPrunedByEmptyDelta(pat, delta_set, delta, dict)) {
+    return true;
+  }
+  if (options_.prune_anchor_paths &&
+      TermPrunedByAnchorPaths(pat, delta_set, within, delta, dict)) {
+    return true;
+  }
+  return false;
+}
+
+void MaintainedView::RecomputeFromStore() {
+  const TreePattern& pat = def_.pattern();
+  view_.Reset(EvalViewWithCounts(pat, StoreLeafSource(store_, &pat)));
+  lattice_.Materialize(*store_);
+}
+
+std::set<LabelId> MaintainedView::DeltaMinusValLabelIds() const {
+  std::set<LabelId> out;
+  for (const auto& name : def_.DeltaMinusValLabels()) {
+    LabelId id = store_->doc().dict().Lookup(name);
+    if (id != kInvalidLabel) out.insert(id);
+  }
+  return out;
+}
+
+DeltaNeeds MaintainedView::DeltaPlusNeeds() const {
+  DeltaNeeds needs;
+  const LabelDict& dict = store_->doc().dict();
+  for (const auto& n : def_.pattern().nodes()) {
+    LabelId id = dict.Lookup(n.label);
+    if (id == kInvalidLabel) continue;
+    if (n.store_val || n.val_pred.has_value()) needs.val_labels.insert(id);
+    if (n.store_cont) needs.cont_labels.insert(id);
+  }
+  return needs;
+}
+
+LeafSource MaintainedView::DeltaLeafSource(const DeltaTables& delta) const {
+  const TreePattern* pat = &def_.pattern();
+  const LabelDict* dict = &store_->doc().dict();
+  const DeltaTables* d = &delta;
+  return [pat, dict, d](int node_idx) -> Relation {
+    const PatternNode& n = pat->node(node_idx);
+    const bool want_val = n.store_val || n.val_pred.has_value();
+    Relation rel;
+    rel.schema.Add({n.name + ".ID", ValueKind::kId});
+    if (want_val) rel.schema.Add({n.name + ".val", ValueKind::kString});
+    if (n.store_cont) rel.schema.Add({n.name + ".cont", ValueKind::kString});
+    LabelId label = dict->Lookup(n.label);
+    if (label == kInvalidLabel) return rel;
+    for (const DeltaRow& row : d->ForLabel(label)) {
+      Tuple t;
+      t.emplace_back(row.id);
+      if (want_val) t.emplace_back(row.val);
+      if (n.store_cont) t.emplace_back(row.cont);
+      rel.rows.push_back(std::move(t));
+    }
+    return rel;
+  };
+}
+
+Relation MaintainedView::EvaluateTerm(const NodeSet& within,
+                                      const NodeSet& delta_set,
+                                      const DeltaTables& delta,
+                                      const DeletedRegion* region) {
+  const TreePattern& pat = def_.pattern();
+  const size_t k = pat.size();
+
+  NodeSet r_part(k, false);
+  bool r_empty = true;
+  for (size_t i = 0; i < k; ++i) {
+    if (within[i] && !delta_set[i]) {
+      r_part[i] = true;
+      r_empty = false;
+    }
+  }
+  LeafSource delta_src = DeltaLeafSource(delta);
+
+  if (r_empty) {
+    // The whole (sub-)pattern binds to freshly changed nodes.
+    return EvalTreePattern(pat, delta_src, &within);
+  }
+
+  // t_R: materialized snowcap if available, else recomputed from leaves.
+  // The snowcap is read in place whenever it is already ordered by the
+  // frontier column — copying it would make a "small" term linear in the
+  // auxiliary structure's size; the stack-based structural join only scans
+  // outer rows up to the last Δ ID anyway.
+  Relation owned;
+  const Relation* cur = nullptr;
+  std::vector<NodeLayout> cur_layout(k);
+  const MaterializedSnowcap* msc = lattice_.Find(r_part);
+  if (msc != nullptr) {
+    cur = &msc->data;
+    cur_layout = msc->layout.per_node;
+  } else {
+    owned = EvalTreePattern(pat, StoreLeafSource(store_, &pat), &r_part);
+    cur = &owned;
+    cur_layout = ComputeBindingLayout(pat, &r_part).per_node;
+  }
+
+  // Join the Δ sub-patterns hanging off the snowcap frontier.
+  int width = static_cast<int>(cur->schema.size());
+  for (size_t c = 0; c < k; ++c) {
+    if (!within[c] || !delta_set[c]) continue;
+    int parent = pat.node(static_cast<int>(c)).parent;
+    if (parent < 0 || !r_part[static_cast<size_t>(parent)]) continue;
+    // Frontier edge parent -> c.
+    Relation dsub = EvalPatternSubtree(pat, delta_src, static_cast<int>(c),
+                                       &within);
+    std::vector<NodeLayout> sub_layout(k);
+    int next_col = 0;
+    SubtreeLayoutRec(pat, within, static_cast<int>(c), &next_col, &sub_layout);
+
+    int pcol = cur_layout[static_cast<size_t>(parent)].id_col;
+    XVM_CHECK(pcol >= 0);
+    if (!IsSortedByIdCol(*cur, pcol)) {
+      owned = cur == &owned ? SortBy(std::move(owned), {pcol})
+                            : SortBy(*cur, {pcol});
+      cur = &owned;
+    }
+    Axis axis = pat.node(static_cast<int>(c)).edge == EdgeKind::kChild
+                    ? Axis::kChild
+                    : Axis::kDescendant;
+    owned = StructuralJoin(*cur, pcol, dsub, 0, axis);
+    cur = &owned;
+    for (int s : pat.Subtree(static_cast<int>(c))) {
+      if (!within[static_cast<size_t>(s)]) continue;
+      NodeLayout l = sub_layout[static_cast<size_t>(s)];
+      if (l.id_col >= 0) l.id_col += width;
+      if (l.val_col >= 0) l.val_col += width;
+      if (l.cont_col >= 0) l.cont_col += width;
+      cur_layout[static_cast<size_t>(s)] = l;
+    }
+    width += static_cast<int>(dsub.schema.size());
+  }
+
+  // σ_alive: keep only rows whose R-side bindings survived the deletion.
+  // (`cur` points at `owned` here: every surviving term has at least one
+  // frontier join, whose output the loop above stored into `owned`.)
+  XVM_CHECK(cur == &owned);
+  if (region != nullptr && !region->empty()) {
+    Relation filtered;
+    filtered.schema = owned.schema;
+    for (auto& row : owned.rows) {
+      bool alive = true;
+      for (size_t i = 0; i < k && alive; ++i) {
+        if (!r_part[i]) continue;
+        if (region->Covers(row[static_cast<size_t>(cur_layout[i].id_col)].id())) {
+          alive = false;
+        }
+      }
+      if (alive) filtered.rows.push_back(std::move(row));
+    }
+    owned = std::move(filtered);
+  }
+
+  // Reorder columns to the canonical (pre-order) layout of `within`.
+  BindingLayout canon = ComputeBindingLayout(pat, &within);
+  std::vector<int> proj;
+  proj.reserve(canon.schema.size());
+  for (int i : pat.Subtree(0)) {
+    if (!within[static_cast<size_t>(i)]) continue;
+    const NodeLayout& l = cur_layout[static_cast<size_t>(i)];
+    const PatternNode& n = pat.node(i);
+    XVM_CHECK(l.id_col >= 0);
+    proj.push_back(l.id_col);
+    if (n.store_val) proj.push_back(l.val_col);
+    if (n.store_cont) proj.push_back(l.cont_col);
+  }
+  return Project(owned, proj);
+}
+
+bool MaintainedView::PredicateGuardTriggered(const DeltaTables& delta) const {
+  // An update that adds/removes data *underneath* an existing node whose
+  // label carries a value predicate may flip that node's σ[val=c] result —
+  // an effect outside the add/remove-embeddings model (the paper does not
+  // treat it). Detect it from the anchor IDs and fall back to recomputation.
+  const LabelDict& dict = store_->doc().dict();
+  for (const auto& n : def_.pattern().nodes()) {
+    if (!n.val_pred.has_value()) continue;
+    LabelId label = dict.Lookup(n.label);
+    if (label == kInvalidLabel) continue;
+    for (const auto& anchor : delta.anchor_ids()) {
+      bool hits = delta.sign() == DeltaTables::Sign::kPlus
+                      ? anchor.HasAncestorOrSelfLabeled(label)
+                      : anchor.HasAncestorLabeled(label);
+      if (hits) return true;
+    }
+  }
+  return false;
+}
+
+void MaintainedView::PropagateInsert(const DeltaTables& delta_plus,
+                                     const DeletedRegion* region,
+                                     PhaseTimer* timer,
+                                     MaintenanceStats* stats) {
+  if (PredicateGuardTriggered(delta_plus)) {
+    stats->recompute_fallback = true;
+    return;
+  }
+  const TreePattern& pat = def_.pattern();
+  NodeSet all(pat.size(), true);
+
+  std::vector<const NodeSet*> surviving;
+  {
+    ScopedPhase phase(timer, phase::kGetExpression);
+    for (const auto& ds : delta_sets_) {
+      ++stats->terms_considered;
+      if (TermPruned(ds, all, delta_plus)) {
+        ++stats->terms_pruned_data;
+        continue;
+      }
+      surviving.push_back(&ds);
+    }
+  }
+  {
+    ScopedPhase phase(timer, phase::kExecuteUpdate);
+    for (const NodeSet* ds : surviving) {
+      Relation rel = EvaluateTerm(all, *ds, delta_plus, region);
+      ++stats->terms_evaluated;
+      Relation proj = Project(rel, stored_cols_);
+      for (const CountedTuple& ct : DupElimWithCounts(proj)) {
+        view_.AddDerivations(ct.tuple, ct.count);
+        stats->derivations_added += ct.count;
+      }
+    }
+    RunPimt(delta_plus, stats);
+  }
+  {
+    ScopedPhase phase(timer, phase::kUpdateLattice);
+    MaintainSnowcapsInsert(delta_plus, region);
+  }
+}
+
+void MaintainedView::PropagateDelete(const DeltaTables& delta_minus,
+                                     PhaseTimer* timer,
+                                     MaintenanceStats* stats) {
+  if (delta_minus.anchor_ids().empty()) return;  // nothing was deleted
+  if (PredicateGuardTriggered(delta_minus)) {
+    stats->recompute_fallback = true;
+    return;
+  }
+  const TreePattern& pat = def_.pattern();
+  NodeSet all(pat.size(), true);
+  DeletedRegion region(delta_minus.anchor_ids());
+
+  std::vector<const NodeSet*> surviving;
+  {
+    ScopedPhase phase(timer, phase::kGetExpression);
+    for (const auto& ds : delta_sets_) {
+      ++stats->terms_considered;
+      if (TermPruned(ds, all, delta_minus)) {
+        ++stats->terms_pruned_data;
+        continue;
+      }
+      surviving.push_back(&ds);
+    }
+  }
+  {
+    ScopedPhase phase(timer, phase::kExecuteUpdate);
+    for (const NodeSet* ds : surviving) {
+      Relation rel = EvaluateTerm(all, *ds, delta_minus, &region);
+      ++stats->terms_evaluated;
+      Relation proj = Project(rel, removal_cols_);
+      for (const CountedTuple& ct : DupElimWithCounts(proj)) {
+        view_.RemoveDerivationsByIdKey(EncodeTuple(ct.tuple), ct.count);
+        stats->derivations_removed += ct.count;
+      }
+    }
+    RunPdmt(region, stats);
+  }
+  {
+    ScopedPhase phase(timer, phase::kUpdateLattice);
+    MaintainSnowcapsDelete(region);
+  }
+}
+
+void MaintainedView::MaintainSnowcapsInsert(const DeltaTables& delta,
+                                            const DeletedRegion* region) {
+  auto& snowcaps = lattice_.snowcaps();
+  // Descending size: each snowcap's t_R reads *smaller* snowcaps, which are
+  // updated later in this loop and therefore still hold pre-update data —
+  // exactly the R the union terms require.
+  for (size_t idx = snowcaps.size(); idx-- > 0;) {
+    MaterializedSnowcap& sc = snowcaps[idx];
+    for (const NodeSet& ds : snowcap_delta_sets_[idx]) {
+      if (TermPruned(ds, sc.nodes, delta)) continue;
+      Relation rel = EvaluateTerm(sc.nodes, ds, delta, region);
+      for (auto& row : rel.rows) sc.data.rows.push_back(std::move(row));
+    }
+  }
+}
+
+void MaintainedView::MaintainSnowcapsDelete(const DeletedRegion& region) {
+  for (auto& sc : lattice_.snowcaps()) {
+    Relation filtered;
+    filtered.schema = sc.data.schema;
+    for (auto& row : sc.data.rows) {
+      bool alive = true;
+      for (size_t i = 0; i < sc.nodes.size() && alive; ++i) {
+        if (!sc.nodes[i]) continue;
+        int col = sc.layout.per_node[i].id_col;
+        if (region.Covers(row[static_cast<size_t>(col)].id())) alive = false;
+      }
+      if (alive) filtered.rows.push_back(std::move(row));
+    }
+    sc.data = std::move(filtered);
+  }
+}
+
+void MaintainedView::RunPimt(const DeltaTables& delta,
+                             MaintenanceStats* stats) {
+  if (def_.cvn().empty() || delta.anchor_ids().empty()) return;
+  const Document& doc = store_->doc();
+  const std::vector<DeweyId>& anchors = delta.anchor_ids();
+  size_t modified = view_.ModifyTuples([&](Tuple* t) {
+    bool changed = false;
+    for (int node : def_.cvn()) {
+      const NodeLayout& l = stored_node_layout_[static_cast<size_t>(node)];
+      const DeweyId& id = (*t)[static_cast<size_t>(l.id_col)].id();
+      // Alg. 4: t.n = n_i or t.n ≺≺ n_i — the stored node is, or is an
+      // ancestor of, an insertion target; its val/cont absorbed new data.
+      if (!AnyAnchorAtOrBelow(anchors, id)) continue;
+      NodeHandle h = doc.FindById(id);
+      if (h == kNullNode) continue;
+      if (l.val_col >= 0) {
+        (*t)[static_cast<size_t>(l.val_col)] = Value(doc.StringValue(h));
+      }
+      if (l.cont_col >= 0) {
+        (*t)[static_cast<size_t>(l.cont_col)] = Value(doc.Content(h));
+      }
+      changed = true;
+    }
+    return changed;
+  });
+  stats->tuples_modified += modified;
+}
+
+void MaintainedView::RunPdmt(const DeletedRegion& region,
+                             MaintenanceStats* stats) {
+  if (def_.cvn().empty() || region.empty()) return;
+  const Document& doc = store_->doc();
+  size_t modified = view_.ModifyTuples([&](Tuple* t) {
+    bool changed = false;
+    for (int node : def_.cvn()) {
+      const NodeLayout& l = stored_node_layout_[static_cast<size_t>(node)];
+      const DeweyId& id = (*t)[static_cast<size_t>(l.id_col)].id();
+      if (region.Covers(id)) continue;  // tuple is being removed anyway
+      // Affected iff some deleted subtree hung strictly below this node.
+      if (!AnyAnchorStrictlyBelow(region.roots(), id)) continue;
+      NodeHandle h = doc.FindById(id);
+      if (h == kNullNode) continue;
+      if (l.val_col >= 0) {
+        (*t)[static_cast<size_t>(l.val_col)] = Value(doc.StringValue(h));
+      }
+      if (l.cont_col >= 0) {
+        (*t)[static_cast<size_t>(l.cont_col)] = Value(doc.Content(h));
+      }
+      changed = true;
+    }
+    return changed;
+  });
+  stats->tuples_modified += modified;
+}
+
+StatusOr<UpdateOutcome> MaintainedView::ApplyAndPropagate(
+    Document* doc, const UpdateStmt& stmt) {
+  XVM_CHECK(doc == &store_->doc());
+  UpdateOutcome out;
+  XVM_ASSIGN_OR_RETURN(Pul pul, ComputePul(*doc, stmt, &out.timing));
+  if (stmt.kind == UpdateStmt::Kind::kDelete) {
+    std::set<LabelId> needs = DeltaMinusValLabelIds();
+    DeltaTables dm = ComputeDeltaMinus(*doc, pul, &out.timing, &needs);
+    ApplyResult applied = ApplyPul(doc, pul, nullptr);
+    out.nodes_deleted = applied.deleted_nodes.size();
+    PropagateDelete(dm, &out.timing, &out.stats);
+    store_->OnNodesRemoved(applied.deleted_nodes);
+  } else {
+    ApplyResult applied = ApplyPul(doc, pul, nullptr);
+    out.nodes_inserted = applied.inserted_nodes.size();
+    DeltaNeeds needs = DeltaPlusNeeds();
+    DeltaTables dp = ComputeDeltaPlus(*doc, applied, &out.timing, &needs);
+    PropagateInsert(dp, nullptr, &out.timing, &out.stats);
+    store_->OnNodesAdded(applied.inserted_nodes);
+  }
+  if (out.stats.recompute_fallback) {
+    ScopedPhase phase(&out.timing, phase::kExecuteUpdate);
+    RecomputeFromStore();
+  }
+  return out;
+}
+
+StatusOr<UpdateOutcome> MaintainedView::ApplyOpsAndPropagate(
+    Document* doc, const OpSequence& ops) {
+  XVM_CHECK(doc == &store_->doc());
+  UpdateOutcome out;
+  // Δ− must be extracted before the ops touch the document.
+  Pul del_pul;
+  for (const AtomicOp& op : ops) {
+    if (op.kind != AtomicOp::Kind::kDelete || op.payload_ref.has_value()) {
+      continue;
+    }
+    NodeHandle h = doc->FindById(op.target);
+    if (h != kNullNode) del_pul.deletes.push_back(PulDeleteOp{h});
+  }
+  std::set<LabelId> needs = DeltaMinusValLabelIds();
+  DeltaTables dm = ComputeDeltaMinus(*doc, del_pul, &out.timing, &needs);
+
+  ApplyResult applied = ApplyAtomicOps(doc, ops, nullptr);
+  out.nodes_deleted = applied.deleted_nodes.size();
+  out.nodes_inserted = applied.inserted_nodes.size();
+  DeltaNeeds plus_needs = DeltaPlusNeeds();
+  DeltaTables dp = ComputeDeltaPlus(*doc, applied, &out.timing, &plus_needs);
+
+  DeletedRegion region(dm.anchor_ids());
+  if (!dm.anchor_ids().empty()) {
+    PropagateDelete(dm, &out.timing, &out.stats);
+  }
+  if (!dp.anchor_ids().empty() && !out.stats.recompute_fallback) {
+    PropagateInsert(dp, region.empty() ? nullptr : &region, &out.timing,
+                    &out.stats);
+  }
+  store_->OnNodesRemoved(applied.deleted_nodes);
+  store_->OnNodesAdded(applied.inserted_nodes);
+  if (out.stats.recompute_fallback) {
+    ScopedPhase phase(&out.timing, phase::kExecuteUpdate);
+    RecomputeFromStore();
+  }
+  return out;
+}
+
+}  // namespace xvm

@@ -1,0 +1,151 @@
+#ifndef XVM_VIEW_MAINTAIN_H_
+#define XVM_VIEW_MAINTAIN_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timing.h"
+#include "pul/pul.h"
+#include "store/canonical.h"
+#include "update/delta.h"
+#include "update/update.h"
+#include "view/lattice.h"
+#include "view/outcome.h"
+#include "view/terms.h"
+#include "view/view_def.h"
+#include "view/view_store.h"
+
+namespace xvm {
+
+/// A set of non-nested deleted subtree roots, sorted in document order.
+/// Covers(id) decides in O(log n) whether `id` is one of the roots or lies
+/// beneath one — the σ_alive check implementing R \ Δ− (DESIGN.md §2).
+class DeletedRegion {
+ public:
+  DeletedRegion() = default;
+  /// `roots` must be sorted and non-nested (as produced by ComputeDeltaMinus
+  /// anchor_ids).
+  explicit DeletedRegion(std::vector<DeweyId> roots);
+
+  bool empty() const { return roots_.empty(); }
+  bool Covers(const DeweyId& id) const;
+  const std::vector<DeweyId>& roots() const { return roots_; }
+
+ private:
+  std::vector<DeweyId> roots_;
+};
+
+/// A materialized view kept incrementally consistent with its document —
+/// the paper's contribution, Algorithms 1–6. One instance owns the view
+/// content and its auxiliary lattice structures; the canonical-relation
+/// store is shared with the document.
+///
+/// Lifecycle:
+///   MaintainedView v(def, &store, LatticeStrategy::kSnowcaps);
+///   v.Initialize();                       // evaluate view + snowcaps
+///   v.ApplyAndPropagate(&doc, update);    // document changes, view follows
+/// Tuning knobs, mainly for ablation studies. Disabling a pruning
+/// proposition never affects correctness — only how many provably-empty
+/// terms get evaluated.
+struct MaintainOptions {
+  bool prune_empty_delta = true;   // Prop. 3.6
+  bool prune_anchor_paths = true;  // Props. 3.8 / 4.7
+};
+
+class MaintainedView {
+ public:
+  MaintainedView(ViewDefinition def, StoreIndex* store,
+                 LatticeStrategy strategy);
+
+  /// Materializes exactly the given snowcaps (e.g. from the §3.5 cost-based
+  /// chooser, view/costmodel.h).
+  MaintainedView(ViewDefinition def, StoreIndex* store,
+                 std::vector<NodeSet> snowcaps);
+
+  void set_options(const MaintainOptions& options) { options_ = options; }
+  const MaintainOptions& options() const { return options_; }
+
+  /// Evaluates the view (with derivation counts) and materializes the
+  /// lattice snowcaps. Call once, after the store is built.
+  void Initialize();
+
+  const ViewDefinition& def() const { return def_; }
+  const MaterializedView& view() const { return view_; }
+  const ViewLattice& lattice() const { return lattice_; }
+  const std::vector<NodeSet>& delta_sets() const { return delta_sets_; }
+
+  /// Mutable access for the persistence layer (view/persist.h), which
+  /// restores saved content in place of Initialize(). Not for general use.
+  MaterializedView& mutable_view() { return view_; }
+  ViewLattice& mutable_lattice() { return lattice_; }
+
+  /// Statement-level maintenance: computes the PUL, applies the update to
+  /// the document *and* the store, and propagates the change to the view —
+  /// PINT/PIMT for insertions (Fig. 8), PDDT/PDMT for deletions (Fig. 9).
+  StatusOr<UpdateOutcome> ApplyAndPropagate(Document* doc,
+                                            const UpdateStmt& stmt);
+
+  /// Like ApplyAndPropagate but for an already-expanded atomic-op sequence
+  /// (the §5 pipeline: compute-pul → optimization rules → propagate).
+  StatusOr<UpdateOutcome> ApplyOpsAndPropagate(Document* doc,
+                                               const OpSequence& ops);
+
+  /// Propagation halves, usable by an external coordinator that applies the
+  /// document update itself (the document must already reflect the update;
+  /// the store must NOT yet — its canonical relations are the old R_l the
+  /// union terms read). `region` restricts R-side bindings to live nodes
+  /// (required whenever the same statement also deleted nodes).
+  void PropagateInsert(const DeltaTables& delta_plus,
+                       const DeletedRegion* region, PhaseTimer* timer,
+                       MaintenanceStats* stats);
+  void PropagateDelete(const DeltaTables& delta_minus, PhaseTimer* timer,
+                       MaintenanceStats* stats);
+
+  /// Rebuilds view + snowcaps from the (already updated) store. Used at
+  /// Initialize() and by the predicate-guard fallback.
+  void RecomputeFromStore();
+
+  /// Labels whose Δ− rows must capture string values for this view.
+  std::set<LabelId> DeltaMinusValLabelIds() const;
+
+  /// Payloads the Δ+ extraction must materialize for this view (val for
+  /// stored-val / predicate labels, cont for stored-cont labels).
+  DeltaNeeds DeltaPlusNeeds() const;
+
+ private:
+  friend class TermEvaluationProbe;  // test access
+
+  void PrecomputeTermSets();
+  bool TermPruned(const NodeSet& delta_set, const NodeSet& within,
+                  const DeltaTables& delta) const;
+  Relation EvaluateTerm(const NodeSet& within, const NodeSet& delta_set,
+                        const DeltaTables& delta, const DeletedRegion* region);
+  LeafSource DeltaLeafSource(const DeltaTables& delta) const;
+  void MaintainSnowcapsInsert(const DeltaTables& delta,
+                              const DeletedRegion* region);
+  void MaintainSnowcapsDelete(const DeletedRegion& region);
+  void RunPimt(const DeltaTables& delta, MaintenanceStats* stats);
+  void RunPdmt(const DeletedRegion& region, MaintenanceStats* stats);
+  bool PredicateGuardTriggered(const DeltaTables& delta) const;
+
+  ViewDefinition def_;
+  StoreIndex* store_;
+  ViewLattice lattice_;
+  MaterializedView view_;
+  MaintainOptions options_;
+
+  // Precomputed at construction ("performed when v is created", Alg. 1).
+  std::vector<NodeSet> delta_sets_;
+  std::vector<std::vector<NodeSet>> snowcap_delta_sets_;  // per lattice entry
+  BindingLayout full_layout_;
+  std::vector<int> stored_cols_;      // canonical binding -> stored tuple
+  std::vector<int> removal_cols_;     // canonical binding -> stored ID cols
+  std::vector<NodeLayout> stored_node_layout_;  // node -> cols in stored tuple
+};
+
+}  // namespace xvm
+
+#endif  // XVM_VIEW_MAINTAIN_H_

@@ -1,0 +1,76 @@
+#include "view/manager.h"
+
+namespace xvm {
+
+size_t ViewManager::AddView(ViewDefinition def, LatticeStrategy strategy) {
+  views_.push_back(
+      std::make_unique<MaintainedView>(std::move(def), store_, strategy));
+  views_.back()->Initialize();
+  return views_.size() - 1;
+}
+
+size_t ViewManager::AddView(ViewDefinition def,
+                            std::vector<NodeSet> snowcaps) {
+  views_.push_back(std::make_unique<MaintainedView>(std::move(def), store_,
+                                                    std::move(snowcaps)));
+  views_.back()->Initialize();
+  return views_.size() - 1;
+}
+
+const MaintainedView* ViewManager::FindView(const std::string& name) const {
+  for (const auto& v : views_) {
+    if (v->def().name() == name) return v.get();
+  }
+  return nullptr;
+}
+
+StatusOr<std::vector<UpdateOutcome>> ViewManager::ApplyAndPropagateAll(
+    const UpdateStmt& stmt) {
+  std::vector<UpdateOutcome> outcomes(views_.size());
+  PhaseTimer shared;  // FindTargetNodes + ComputeDeltas, charged once
+  XVM_ASSIGN_OR_RETURN(Pul pul, ComputePul(*doc_, stmt, &shared));
+
+  if (stmt.kind == UpdateStmt::Kind::kDelete) {
+    // Union of every view's Δ− value-capture needs.
+    std::set<LabelId> needs;
+    for (const auto& v : views_) {
+      std::set<LabelId> n = v->DeltaMinusValLabelIds();
+      needs.insert(n.begin(), n.end());
+    }
+    DeltaTables dm = ComputeDeltaMinus(*doc_, pul, &shared, &needs);
+    ApplyResult applied = ApplyPul(doc_, pul, nullptr);
+    for (size_t i = 0; i < views_.size(); ++i) {
+      outcomes[i].nodes_deleted = applied.deleted_nodes.size();
+      views_[i]->PropagateDelete(dm, &outcomes[i].timing,
+                                 &outcomes[i].stats);
+    }
+    store_->OnNodesRemoved(applied.deleted_nodes);
+  } else {
+    ApplyResult applied = ApplyPul(doc_, pul, nullptr);
+    DeltaNeeds needs;
+    for (const auto& v : views_) {
+      DeltaNeeds n = v->DeltaPlusNeeds();
+      needs.val_labels.insert(n.val_labels.begin(), n.val_labels.end());
+      needs.cont_labels.insert(n.cont_labels.begin(), n.cont_labels.end());
+    }
+    DeltaTables dp = ComputeDeltaPlus(*doc_, applied, &shared, &needs);
+    for (size_t i = 0; i < views_.size(); ++i) {
+      outcomes[i].nodes_inserted = applied.inserted_nodes.size();
+      views_[i]->PropagateInsert(dp, nullptr, &outcomes[i].timing,
+                                 &outcomes[i].stats);
+    }
+    store_->OnNodesAdded(applied.inserted_nodes);
+  }
+
+  // Predicate-guard fallbacks run once the store is consistent.
+  for (size_t i = 0; i < views_.size(); ++i) {
+    if (outcomes[i].stats.recompute_fallback) {
+      ScopedPhase phase(&outcomes[i].timing, phase::kExecuteUpdate);
+      views_[i]->RecomputeFromStore();
+    }
+  }
+  if (!outcomes.empty()) outcomes[0].timing.Merge(shared);
+  return outcomes;
+}
+
+}  // namespace xvm

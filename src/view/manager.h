@@ -1,0 +1,52 @@
+#ifndef XVM_VIEW_MANAGER_H_
+#define XVM_VIEW_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "view/maintain.h"
+
+namespace xvm {
+
+/// Coordinates several materialized views over one document/store: the
+/// paper's "context where several views are materialized" (§3.5). A
+/// statement is located and applied to the document exactly once; the Δ
+/// tables are extracted with the *union* of all views' payload needs; every
+/// view then receives its propagation pass, and the canonical relations are
+/// brought forward once at the end.
+class ViewManager {
+ public:
+  ViewManager(Document* doc, StoreIndex* store) : doc_(doc), store_(store) {}
+
+  ViewManager(const ViewManager&) = delete;
+  ViewManager& operator=(const ViewManager&) = delete;
+
+  /// Registers and initializes a view. Returns its index.
+  size_t AddView(ViewDefinition def, LatticeStrategy strategy);
+  size_t AddView(ViewDefinition def, std::vector<NodeSet> snowcaps);
+
+  size_t size() const { return views_.size(); }
+  const MaintainedView& view(size_t i) const { return *views_[i]; }
+  MaintainedView& mutable_view(size_t i) { return *views_[i]; }
+
+  /// Finds a registered view by name; nullptr if absent.
+  const MaintainedView* FindView(const std::string& name) const;
+
+  /// Applies the statement to the document and propagates it to every
+  /// registered view. Returns one outcome per view (same order as
+  /// registration); document-side phases (FindTargetNodes, ComputeDeltas)
+  /// are charged to the first view's outcome.
+  StatusOr<std::vector<UpdateOutcome>> ApplyAndPropagateAll(
+      const UpdateStmt& stmt);
+
+ private:
+  Document* doc_;
+  StoreIndex* store_;
+  std::vector<std::unique_ptr<MaintainedView>> views_;
+};
+
+}  // namespace xvm
+
+#endif  // XVM_VIEW_MANAGER_H_

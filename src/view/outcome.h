@@ -1,0 +1,32 @@
+#ifndef XVM_VIEW_OUTCOME_H_
+#define XVM_VIEW_OUTCOME_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/timing.h"
+
+namespace xvm {
+
+/// Counters reported by one maintenance step.
+struct MaintenanceStats {
+  size_t terms_considered = 0;   // after update-independent pruning
+  size_t terms_pruned_data = 0;  // Props. 3.6 / 3.8 / 4.7
+  size_t terms_evaluated = 0;
+  int64_t derivations_added = 0;
+  int64_t derivations_removed = 0;
+  size_t tuples_modified = 0;       // PIMT / PDMT rewrites
+  bool recompute_fallback = false;  // predicate-guard / baseline recompute
+};
+
+/// Result of one statement-level propagation (any maintenance strategy).
+struct UpdateOutcome {
+  PhaseTimer timing;  // the five §6.1 phases
+  MaintenanceStats stats;
+  size_t nodes_inserted = 0;
+  size_t nodes_deleted = 0;
+};
+
+}  // namespace xvm
+
+#endif  // XVM_VIEW_OUTCOME_H_

@@ -1,0 +1,191 @@
+#include "view/persist.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/varint.h"
+
+namespace xvm {
+
+namespace {
+
+constexpr char kMagic[] = "XVM1";
+
+void PutString(std::string* out, const std::string& s) {
+  PutVarint64(out, s.size());
+  out->append(s);
+}
+
+bool GetString(const std::string& data, size_t* pos, std::string* out) {
+  uint64_t len = 0;
+  if (!GetVarint64(data, pos, &len)) return false;
+  if (*pos + len > data.size()) return false;
+  *out = data.substr(*pos, len);
+  *pos += len;
+  return true;
+}
+
+void PutTuple(std::string* out, const Tuple& t) {
+  PutVarint64(out, t.size());
+  for (const Value& v : t) v.EncodeTo(out);
+}
+
+bool GetTuple(const std::string& data, size_t* pos, Tuple* t) {
+  uint64_t n = 0;
+  if (!GetVarint64(data, pos, &n)) return false;
+  t->clear();
+  t->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Value v;
+    if (!Value::DecodeFrom(data, pos, &v)) return false;
+    t->push_back(std::move(v));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string SaveViewToBytes(const MaintainedView& view) {
+  std::string out;
+  out.append(kMagic);
+  PutString(&out, view.def().name());
+  PutString(&out, view.def().pattern().ToString());
+
+  // View content.
+  std::vector<CountedTuple> content = view.view().Snapshot();
+  PutVarint64(&out, content.size());
+  for (const auto& ct : content) {
+    PutVarint64(&out, static_cast<uint64_t>(ct.count));
+    PutTuple(&out, ct.tuple);
+  }
+
+  // Snowcap relations.
+  const auto& snowcaps = view.lattice().snowcaps();
+  PutVarint64(&out, snowcaps.size());
+  for (const auto& sc : snowcaps) {
+    PutVarint64(&out, sc.nodes.size());
+    for (bool b : sc.nodes) out.push_back(b ? 1 : 0);
+    PutVarint64(&out, sc.data.rows.size());
+    for (const auto& row : sc.data.rows) PutTuple(&out, row);
+  }
+  return out;
+}
+
+Status LoadViewFromBytes(const std::string& bytes, MaintainedView* view) {
+  size_t pos = 0;
+  if (bytes.substr(0, 4) != kMagic) {
+    return Status::InvalidArgument("bad magic: not a saved xvm view");
+  }
+  pos = 4;
+  std::string name, pattern_dsl;
+  if (!GetString(bytes, &pos, &name) || !GetString(bytes, &pos, &pattern_dsl)) {
+    return Status::InvalidArgument("truncated view header");
+  }
+  if (name != view->def().name()) {
+    return Status::FailedPrecondition("saved view is named '" + name +
+                                      "', target is '" + view->def().name() +
+                                      "'");
+  }
+  if (pattern_dsl != view->def().pattern().ToString()) {
+    return Status::FailedPrecondition(
+        "saved view pattern " + pattern_dsl + " does not match target " +
+        view->def().pattern().ToString());
+  }
+
+  uint64_t tuple_count = 0;
+  if (!GetVarint64(bytes, &pos, &tuple_count)) {
+    return Status::InvalidArgument("truncated tuple count");
+  }
+  std::vector<CountedTuple> content;
+  content.reserve(tuple_count);
+  const size_t want_cols = view->def().tuple_schema().size();
+  for (uint64_t i = 0; i < tuple_count; ++i) {
+    uint64_t count = 0;
+    CountedTuple ct;
+    if (!GetVarint64(bytes, &pos, &count) ||
+        !GetTuple(bytes, &pos, &ct.tuple)) {
+      return Status::InvalidArgument("truncated view tuple");
+    }
+    if (ct.tuple.size() != want_cols) {
+      return Status::InvalidArgument("saved tuple width mismatch");
+    }
+    ct.count = static_cast<int64_t>(count);
+    content.push_back(std::move(ct));
+  }
+
+  uint64_t snowcap_count = 0;
+  if (!GetVarint64(bytes, &pos, &snowcap_count)) {
+    return Status::InvalidArgument("truncated snowcap count");
+  }
+  auto& snowcaps = view->mutable_lattice().snowcaps();
+  if (snowcap_count != snowcaps.size()) {
+    return Status::FailedPrecondition(
+        "saved lattice has " + std::to_string(snowcap_count) +
+        " snowcap(s), target has " + std::to_string(snowcaps.size()));
+  }
+  std::vector<Relation> loaded(snowcap_count);
+  for (uint64_t s = 0; s < snowcap_count; ++s) {
+    uint64_t bits = 0;
+    if (!GetVarint64(bytes, &pos, &bits)) {
+      return Status::InvalidArgument("truncated snowcap node set");
+    }
+    NodeSet nodes(bits, false);
+    for (uint64_t b = 0; b < bits; ++b) {
+      if (pos >= bytes.size()) {
+        return Status::InvalidArgument("truncated snowcap node set");
+      }
+      nodes[b] = bytes[pos++] != 0;
+    }
+    if (nodes != snowcaps[s].nodes) {
+      return Status::FailedPrecondition(
+          "saved snowcap node sets do not match the target lattice");
+    }
+    uint64_t rows = 0;
+    if (!GetVarint64(bytes, &pos, &rows)) {
+      return Status::InvalidArgument("truncated snowcap rows");
+    }
+    loaded[s].schema = snowcaps[s].layout.schema;
+    loaded[s].rows.reserve(rows);
+    for (uint64_t r = 0; r < rows; ++r) {
+      Tuple t;
+      if (!GetTuple(bytes, &pos, &t)) {
+        return Status::InvalidArgument("truncated snowcap tuple");
+      }
+      if (t.size() != loaded[s].schema.size()) {
+        return Status::InvalidArgument("saved snowcap tuple width mismatch");
+      }
+      loaded[s].rows.push_back(std::move(t));
+    }
+  }
+  if (pos != bytes.size()) {
+    return Status::InvalidArgument("trailing bytes after saved view");
+  }
+
+  // All parsed: commit.
+  view->mutable_view().Reset(content);
+  for (uint64_t s = 0; s < snowcap_count; ++s) {
+    snowcaps[s].data = std::move(loaded[s]);
+  }
+  return Status::Ok();
+}
+
+Status SaveViewToFile(const MaintainedView& view, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  std::string bytes = SaveViewToBytes(view);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+Status LoadViewFromFile(const std::string& path, MaintainedView* view) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LoadViewFromBytes(buf.str(), view);
+}
+
+}  // namespace xvm

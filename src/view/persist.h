@@ -1,0 +1,36 @@
+#ifndef XVM_VIEW_PERSIST_H_
+#define XVM_VIEW_PERSIST_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "view/maintain.h"
+
+namespace xvm {
+
+/// Binary persistence for materialized views — the "good candidate to be
+/// integrated within a persistent XML database" angle of the paper: view
+/// tuples (with derivation counts) and the materialized snowcap relations
+/// serialize to a compact varint format, so a maintained view survives a
+/// process restart without re-evaluation.
+///
+/// The document/store are persisted separately (or re-parsed); a loaded
+/// view is only meaningful against the same document state it was saved
+/// under — the header records the view name, pattern DSL and tuple schema
+/// and LoadView verifies them against the target view.
+
+/// Serializes view content + snowcap data.
+std::string SaveViewToBytes(const MaintainedView& view);
+
+/// Restores content + snowcap data into `view` (which must have been
+/// constructed with the same definition and an equal lattice shape).
+/// Replaces Initialize().
+Status LoadViewFromBytes(const std::string& bytes, MaintainedView* view);
+
+/// File convenience wrappers.
+Status SaveViewToFile(const MaintainedView& view, const std::string& path);
+Status LoadViewFromFile(const std::string& path, MaintainedView* view);
+
+}  // namespace xvm
+
+#endif  // XVM_VIEW_PERSIST_H_

@@ -1,0 +1,72 @@
+#include "view/schema_guard.h"
+
+namespace xvm {
+
+Status CheckDeltaConstraintsOnLabels(
+    const std::vector<DeltaImplication>& implications,
+    const std::set<std::string>& inserted_labels) {
+  for (const auto& imp : implications) {
+    if (inserted_labels.contains(imp.antecedent) &&
+        !inserted_labels.contains(imp.consequent)) {
+      return Status::SchemaViolation(
+          "update rejected: inserting <" + imp.antecedent +
+          "> requires inserting <" + imp.consequent + "> (" + imp.ToString() +
+          ")");
+    }
+  }
+  return Status::Ok();
+}
+
+std::set<std::string> SchemaGuard::InsertedLabels(const UpdateStmt& stmt) {
+  std::set<std::string> labels;
+  if (stmt.forest == nullptr) return labels;
+  const Document& f = *stmt.forest;
+  for (NodeHandle h : f.AllNodes()) {
+    const Node& n = f.node(h);
+    if (n.kind == NodeKind::kElement && h != f.root()) {
+      labels.insert(f.dict().Name(n.label));
+    }
+  }
+  return labels;
+}
+
+Status SchemaGuard::AdmitInsert(const UpdateStmt& stmt) const {
+  if (stmt.kind != UpdateStmt::Kind::kInsert || stmt.forest == nullptr) {
+    return Status::Ok();
+  }
+  XVM_RETURN_IF_ERROR(
+      CheckDeltaConstraintsOnLabels(implications_, InsertedLabels(stmt)));
+  const Document& f = *stmt.forest;
+  // Sibling co-occurrence (Example 3.10): when the target path names the
+  // parent label, each inserted tree-root label must arrive with the labels
+  // the parent's content model forces next to it.
+  auto parsed = ParseXPath(stmt.target_path);
+  if (parsed.ok() && !parsed->steps.empty() &&
+      parsed->steps.back().test == XPathTest::kName) {
+    const std::string& parent = parsed->steps.back().name;
+    std::set<std::string> roots;
+    for (NodeHandle t = f.node(f.root()).first_child; t != kNullNode;
+         t = f.node(t).next_sibling) {
+      if (f.node(t).kind == NodeKind::kElement) {
+        roots.insert(f.dict().Name(f.node(t).label));
+      }
+    }
+    for (const auto& root : roots) {
+      for (const auto& needed : dtd_.CoOccurringChildren(parent, root)) {
+        if (!roots.contains(needed)) {
+          return Status::SchemaViolation(
+              "update rejected: inserting <" + root + "> under <" + parent +
+              "> must occur with <" + needed + "> (content model " +
+              dtd_.Rule(parent)->ToString() + ")");
+        }
+      }
+    }
+  }
+  for (NodeHandle t = f.node(f.root()).first_child; t != kNullNode;
+       t = f.node(t).next_sibling) {
+    XVM_RETURN_IF_ERROR(dtd_.ValidateSubtree(f, t));
+  }
+  return Status::Ok();
+}
+
+}  // namespace xvm

@@ -1,0 +1,56 @@
+#ifndef XVM_VIEW_SCHEMA_GUARD_H_
+#define XVM_VIEW_SCHEMA_GUARD_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "schema/delta_constraints.h"
+#include "xpath/xpath_ast.h"
+#include "schema/dtd.h"
+#include "update/update.h"
+
+namespace xvm {
+
+/// Runtime update admission control from a DTD (paper §3.3): before an
+/// insertion is applied, its Δ+ tables (derivable from the payload alone)
+/// are checked against implications inferred from the DTD; updates that
+/// would necessarily break validity are rejected, and the user "may choose
+/// whether to proceed or reformulate the update".
+class SchemaGuard {
+ public:
+  explicit SchemaGuard(Dtd dtd)
+      : dtd_(std::move(dtd)),
+        implications_(DeriveDeltaImplications(dtd_)) {}
+
+  const Dtd& dtd() const { return dtd_; }
+  const std::vector<DeltaImplication>& implications() const {
+    return implications_;
+  }
+
+  /// Checks an insert statement *before* it is applied:
+  ///  1. Δ+ implications (Examples 3.9 / 3.10) against the labels the
+  ///     payload would insert — the fast necessary-condition test;
+  ///  2. full content-model validation of each payload tree in isolation.
+  /// Deletions and query-sourced inserts pass trivially (their payloads are
+  /// existing valid subtrees).
+  Status AdmitInsert(const UpdateStmt& stmt) const;
+
+  /// Label multiset the statement's constant forest would insert.
+  static std::set<std::string> InsertedLabels(const UpdateStmt& stmt);
+
+ private:
+  Dtd dtd_;
+  std::vector<DeltaImplication> implications_;
+};
+
+/// Implication check against a plain label set (the pre-application form:
+/// Δ+l ≠ ∅ iff l occurs in the payload).
+Status CheckDeltaConstraintsOnLabels(
+    const std::vector<DeltaImplication>& implications,
+    const std::set<std::string>& inserted_labels);
+
+}  // namespace xvm
+
+#endif  // XVM_VIEW_SCHEMA_GUARD_H_

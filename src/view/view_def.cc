@@ -1,0 +1,35 @@
+#include "view/view_def.h"
+
+namespace xvm {
+
+StatusOr<ViewDefinition> ViewDefinition::Create(std::string name,
+                                                std::string_view pattern_dsl) {
+  XVM_ASSIGN_OR_RETURN(TreePattern pattern, TreePattern::Parse(pattern_dsl));
+  return FromPattern(std::move(name), std::move(pattern));
+}
+
+StatusOr<ViewDefinition> ViewDefinition::FromPattern(std::string name,
+                                                     TreePattern pattern) {
+  XVM_RETURN_IF_ERROR(pattern.Validate());
+  ViewDefinition def;
+  def.name_ = std::move(name);
+  def.pattern_ = std::move(pattern);
+  def.tuple_schema_ = ViewTupleSchema(def.pattern_);
+  if (def.tuple_schema_.size() == 0) {
+    return Status::InvalidArgument(
+        "view '" + def.name_ + "' stores no attributes; annotate at least "
+        "one node with {id}, {val} or {cont}");
+  }
+  def.cvn_ = def.pattern_.ContentOrValueNodes();
+  return def;
+}
+
+std::set<std::string> ViewDefinition::DeltaMinusValLabels() const {
+  std::set<std::string> out;
+  for (const auto& n : pattern_.nodes()) {
+    if (n.val_pred.has_value()) out.insert(n.label);
+  }
+  return out;
+}
+
+}  // namespace xvm

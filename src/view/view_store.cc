@@ -1,0 +1,95 @@
+#include "view/view_store.h"
+
+#include <algorithm>
+
+namespace xvm {
+
+MaterializedView::MaterializedView(Schema schema)
+    : schema_(std::move(schema)) {
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_.col(i).kind == ValueKind::kId) {
+      id_cols_.push_back(static_cast<int>(i));
+    }
+  }
+  XVM_CHECK(!id_cols_.empty());
+}
+
+std::string MaterializedView::IdKeyOf(const Tuple& tuple) const {
+  return EncodeTupleCols(tuple, id_cols_);
+}
+
+std::string MaterializedView::IdKeyOfIds(const std::vector<Value>& ids) {
+  std::string out;
+  for (const auto& v : ids) v.EncodeTo(&out);
+  return out;
+}
+
+void MaterializedView::AddDerivations(const Tuple& tuple, int64_t count) {
+  XVM_CHECK(count > 0);
+  XVM_CHECK(tuple.size() == schema_.size());
+  std::string key = IdKeyOf(tuple);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    entries_.emplace(std::move(key), Entry{tuple, count});
+  } else {
+    it->second.count += count;
+  }
+  total_derivations_ += count;
+}
+
+bool MaterializedView::RemoveDerivationsByIdKey(const std::string& id_key,
+                                                int64_t count) {
+  auto it = entries_.find(id_key);
+  if (it == entries_.end()) return true;  // never satisfied the view
+  int64_t removed = std::min(count, it->second.count);
+  it->second.count -= removed;
+  total_derivations_ -= removed;
+  if (it->second.count == 0) entries_.erase(it);
+  return removed == count;
+}
+
+int64_t MaterializedView::CountOf(const Tuple& tuple) const {
+  auto it = entries_.find(IdKeyOf(tuple));
+  if (it == entries_.end()) return 0;
+  return it->second.tuple == tuple ? it->second.count : 0;
+}
+
+const Tuple* MaterializedView::FindByIdKey(const std::string& id_key) const {
+  auto it = entries_.find(id_key);
+  return it == entries_.end() ? nullptr : &it->second.tuple;
+}
+
+size_t MaterializedView::ModifyTuples(
+    const std::function<bool(Tuple*)>& mutator) {
+  size_t modified = 0;
+  for (auto& [key, entry] : entries_) {
+    if (mutator(&entry.tuple)) ++modified;
+  }
+  return modified;
+}
+
+std::vector<CountedTuple> MaterializedView::Snapshot() const {
+  std::vector<CountedTuple> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    out.push_back(CountedTuple{entry.tuple, entry.count});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CountedTuple& a, const CountedTuple& b) {
+              return a.tuple < b.tuple;
+            });
+  return out;
+}
+
+void MaterializedView::Reset(const std::vector<CountedTuple>& content) {
+  entries_.clear();
+  total_derivations_ = 0;
+  for (const auto& ct : content) AddDerivations(ct.tuple, ct.count);
+}
+
+void MaterializedView::Clear() {
+  entries_.clear();
+  total_derivations_ = 0;
+}
+
+}  // namespace xvm

@@ -1,0 +1,90 @@
+#ifndef XVM_VIEW_VIEW_STORE_H_
+#define XVM_VIEW_VIEW_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/operators.h"
+#include "algebra/value.h"
+#include "common/status.h"
+
+namespace xvm {
+
+/// The materialized content of a view: projected tuples with their
+/// derivation counts (paper §2.2). A tuple lives in the view while its
+/// count is positive; maintenance adds derivations (PINT), removes them
+/// (PDDT) and rewrites val/cont payloads in place (PIMT/PDMT).
+///
+/// Tuples are indexed two ways: by their full encoding, and by the
+/// projection onto their ID columns. Because every stored val/cont is
+/// accompanied by the node's ID (pattern validation), the ID projection
+/// identifies a tuple uniquely — which lets deletion propagation work from
+/// Δ− tables that carry only IDs.
+class MaterializedView {
+ public:
+  MaterializedView() = default;
+  explicit MaterializedView(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<int>& id_cols() const { return id_cols_; }
+
+  /// Distinct tuples currently in the view.
+  size_t size() const { return entries_.size(); }
+  /// Sum of derivation counts.
+  int64_t total_derivations() const { return total_derivations_; }
+
+  /// Adds `count` derivations of `tuple` (inserting it if absent).
+  void AddDerivations(const Tuple& tuple, int64_t count);
+
+  /// Removes `count` derivations of the tuple whose ID-column projection
+  /// encodes to `id_key`. The tuple disappears when its count reaches zero.
+  /// Removing from an absent tuple is ignored (the caller may have filtered
+  /// a candidate that never satisfied the view's predicates); removal below
+  /// zero clamps and reports via the return value (false).
+  bool RemoveDerivationsByIdKey(const std::string& id_key, int64_t count);
+
+  /// Encodes a tuple's ID-column projection (key for removal/updates).
+  std::string IdKeyOf(const Tuple& tuple) const;
+  /// Encodes an ID projection given values for the ID columns only, in
+  /// id_cols() order.
+  static std::string IdKeyOfIds(const std::vector<Value>& ids);
+
+  /// Derivation count of `tuple`, 0 if absent.
+  int64_t CountOf(const Tuple& tuple) const;
+
+  /// Looks a tuple up by ID key; nullptr if absent.
+  const Tuple* FindByIdKey(const std::string& id_key) const;
+
+  /// Applies `mutator` to every stored tuple; a mutator returning true
+  /// signals the tuple changed (its full-key index entry is refreshed;
+  /// ID columns must not change). Returns the number of modified tuples.
+  size_t ModifyTuples(const std::function<bool(Tuple*)>& mutator);
+
+  /// Sorted snapshot of (tuple, count) — for tests, diffs, serialization.
+  std::vector<CountedTuple> Snapshot() const;
+
+  /// Replaces the whole content (used by Initialize / full recomputation).
+  void Reset(const std::vector<CountedTuple>& content);
+
+  void Clear();
+
+ private:
+  struct Entry {
+    Tuple tuple;
+    int64_t count = 0;
+  };
+
+  Schema schema_;
+  std::vector<int> id_cols_;
+  // id_key -> entry. The full-key index maps full encodings to id_keys so
+  // AddDerivations can detect value collisions cheaply.
+  std::unordered_map<std::string, Entry> entries_;
+  int64_t total_derivations_ = 0;
+};
+
+}  // namespace xvm
+
+#endif  // XVM_VIEW_VIEW_STORE_H_

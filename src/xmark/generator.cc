@@ -1,0 +1,281 @@
+#include "xmark/generator.h"
+
+#include <array>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace xvm {
+
+const char* const kIncreaseAmounts[7] = {"1.50", "3.00",  "4.50", "6.00",
+                                         "9.00", "12.00", "18.00"};
+
+namespace {
+
+constexpr const char* kWords[] = {
+    "shakespeare", "auction", "antique",  "vintage",  "rare",     "mint",
+    "condition",   "original", "signed",  "limited",  "edition",  "classic",
+    "collector",   "estate",   "imported", "handmade", "restored", "pristine",
+    "genuine",     "certified", "exotic",  "ornate",   "gilded",   "carved",
+    "porcelain",   "bronze",    "silver",  "crystal",  "walnut",   "mahogany"};
+constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+constexpr const char* kRegions[] = {"africa",  "asia",     "australia",
+                                    "europe",  "namerica", "samerica"};
+
+constexpr const char* kCities[] = {"Lille", "Glasgow", "Paris", "Potenza",
+                                   "Saclay", "Rome"};
+constexpr const char* kCountries[] = {"France", "United Kingdom", "Italy"};
+
+/// Emits `n` space-separated words as a text child.
+void Text(Document* doc, NodeHandle parent, Rng* rng, int n) {
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out.push_back(' ');
+    out += kWords[rng->Uniform(kNumWords)];
+  }
+  doc->AppendText(parent, out);
+}
+
+void SimpleTextChild(Document* doc, NodeHandle parent, const char* label,
+                     const std::string& text) {
+  NodeHandle e = doc->AppendElement(parent, label);
+  doc->AppendText(e, text);
+}
+
+void MakeItem(Document* doc, NodeHandle region, Rng* rng, size_t id,
+              size_t num_categories) {
+  NodeHandle item = doc->AppendElement(region, "item");
+  doc->AppendAttribute(item, "id", "item" + std::to_string(id));
+  if (rng->Chance(1, 10)) doc->AppendAttribute(item, "featured", "yes");
+  SimpleTextChild(doc, item, "location",
+                  kCountries[rng->Uniform(3)]);
+  SimpleTextChild(doc, item, "quantity",
+                  std::to_string(1 + rng->Uniform(5)));
+  NodeHandle name = doc->AppendElement(item, "name");
+  Text(doc, name, rng, 2);
+  SimpleTextChild(doc, item, "payment", "Creditcard, Personal Check, Cash");
+  // ~85% of items carry a description (predicates [description] must be
+  // selective but commonly true, as in XMark).
+  if (rng->Chance(85, 100)) {
+    NodeHandle descr = doc->AppendElement(item, "description");
+    Text(doc, descr, rng, static_cast<int>(4 + rng->Uniform(12)));
+  }
+  if (rng->Chance(1, 2)) {
+    NodeHandle ship = doc->AppendElement(item, "shipping");
+    Text(doc, ship, rng, 3);
+  }
+  size_t incats = rng->Uniform(3);
+  for (size_t c = 0; c < incats; ++c) {
+    NodeHandle ic = doc->AppendElement(item, "incategory");
+    doc->AppendAttribute(ic, "category",
+                         "category" + std::to_string(
+                             rng->Uniform(std::max<size_t>(1, num_categories))));
+  }
+  // ~40% of items have a mailbox with 1-2 mails.
+  if (rng->Chance(2, 5)) {
+    NodeHandle mailbox = doc->AppendElement(item, "mailbox");
+    size_t mails = 1 + rng->Uniform(2);
+    for (size_t m = 0; m < mails; ++m) {
+      NodeHandle mail = doc->AppendElement(mailbox, "mail");
+      SimpleTextChild(doc, mail, "from", kWords[rng->Uniform(kNumWords)]);
+      SimpleTextChild(doc, mail, "to", kWords[rng->Uniform(kNumWords)]);
+      SimpleTextChild(doc, mail, "date",
+                      std::to_string(1 + rng->Uniform(28)) + "/0" +
+                          std::to_string(1 + rng->Uniform(9)) + "/2001");
+      NodeHandle text = doc->AppendElement(mail, "text");
+      Text(doc, text, rng, static_cast<int>(3 + rng->Uniform(10)));
+    }
+  }
+}
+
+void MakePerson(Document* doc, NodeHandle people, Rng* rng, size_t id) {
+  NodeHandle person = doc->AppendElement(people, "person");
+  doc->AppendAttribute(person, "id", "person" + std::to_string(id));
+  NodeHandle name = doc->AppendElement(person, "name");
+  Text(doc, name, rng, 2);
+  SimpleTextChild(doc, person, "emailaddress",
+                  std::string("mailto:") + kWords[rng->Uniform(kNumWords)] +
+                      std::to_string(id) + "@example.org");
+  if (rng->Chance(1, 2)) {
+    SimpleTextChild(doc, person, "phone",
+                    "+33 (" + std::to_string(rng->Uniform(100)) + ") " +
+                        std::to_string(10000000 + rng->Uniform(89999999)));
+  }
+  if (rng->Chance(3, 5)) {
+    NodeHandle addr = doc->AppendElement(person, "address");
+    SimpleTextChild(doc, addr, "street",
+                    std::to_string(1 + rng->Uniform(99)) + " " +
+                        kWords[rng->Uniform(kNumWords)] + " St");
+    SimpleTextChild(doc, addr, "city", kCities[rng->Uniform(6)]);
+    SimpleTextChild(doc, addr, "country", kCountries[rng->Uniform(3)]);
+    SimpleTextChild(doc, addr, "zipcode",
+                    std::to_string(10000 + rng->Uniform(89999)));
+  }
+  if (rng->Chance(3, 10)) {
+    SimpleTextChild(doc, person, "homepage",
+                    std::string("http://www.example.org/~") +
+                        kWords[rng->Uniform(kNumWords)] + std::to_string(id));
+  }
+  if (rng->Chance(1, 4)) {
+    SimpleTextChild(doc, person, "creditcard",
+                    std::to_string(1000 + rng->Uniform(8999)) + " " +
+                        std::to_string(1000 + rng->Uniform(8999)));
+  }
+  if (rng->Chance(7, 10)) {
+    NodeHandle profile = doc->AppendElement(person, "profile");
+    if (rng->Chance(3, 5)) {
+      doc->AppendAttribute(profile, "income",
+                           std::to_string(20000 + rng->Uniform(80000)) + ".00");
+    }
+    size_t interests = rng->Uniform(3);
+    for (size_t i = 0; i < interests; ++i) {
+      NodeHandle in = doc->AppendElement(profile, "interest");
+      doc->AppendAttribute(in, "category",
+                           "category" + std::to_string(rng->Uniform(20)));
+    }
+    if (rng->Chance(1, 2)) SimpleTextChild(doc, profile, "education", "Other");
+    SimpleTextChild(doc, profile, "business", rng->Chance(1, 2) ? "Yes" : "No");
+    if (rng->Chance(1, 2)) {
+      SimpleTextChild(doc, profile, "age",
+                      std::to_string(18 + rng->Uniform(60)));
+    }
+  }
+  if (rng->Chance(3, 10)) {
+    NodeHandle watches = doc->AppendElement(person, "watches");
+    size_t w = 1 + rng->Uniform(3);
+    for (size_t i = 0; i < w; ++i) {
+      NodeHandle watch = doc->AppendElement(watches, "watch");
+      doc->AppendAttribute(watch, "open_auction",
+                           "open_auction" + std::to_string(rng->Uniform(100)));
+    }
+  }
+}
+
+void MakeOpenAuction(Document* doc, NodeHandle auctions, Rng* rng, size_t id,
+                     size_t num_persons, size_t num_items) {
+  NodeHandle oa = doc->AppendElement(auctions, "open_auction");
+  doc->AppendAttribute(oa, "id", "open_auction" + std::to_string(id));
+  SimpleTextChild(doc, oa, "initial", kIncreaseAmounts[rng->Uniform(7)]);
+  if (rng->Chance(2, 5)) {
+    SimpleTextChild(doc, oa, "reserve", kIncreaseAmounts[rng->Uniform(7)]);
+  }
+  size_t bidders = rng->Uniform(5);
+  for (size_t b = 0; b < bidders; ++b) {
+    NodeHandle bidder = doc->AppendElement(oa, "bidder");
+    SimpleTextChild(doc, bidder, "date",
+                    std::to_string(1 + rng->Uniform(28)) + "/0" +
+                        std::to_string(1 + rng->Uniform(9)) + "/2001");
+    SimpleTextChild(doc, bidder, "time",
+                    std::to_string(rng->Uniform(24)) + ":" +
+                        std::to_string(10 + rng->Uniform(49)));
+    NodeHandle pref = doc->AppendElement(bidder, "personref");
+    // Cycle references so low-numbered persons (e.g. "person12" used by
+    // XMark Q4) are always referenced on non-trivial documents.
+    doc->AppendAttribute(
+        pref, "person",
+        "person" + std::to_string((id * 5 + b * 7 + rng->Uniform(13)) %
+                                  std::max<size_t>(1, num_persons)));
+    SimpleTextChild(doc, bidder, "increase", kIncreaseAmounts[rng->Uniform(7)]);
+  }
+  SimpleTextChild(doc, oa, "current", kIncreaseAmounts[rng->Uniform(7)]);
+  if (rng->Chance(3, 10)) SimpleTextChild(doc, oa, "privacy", "Yes");
+  NodeHandle iref = doc->AppendElement(oa, "itemref");
+  doc->AppendAttribute(
+      iref, "item",
+      "item" + std::to_string(rng->Uniform(std::max<size_t>(1, num_items))));
+  NodeHandle seller = doc->AppendElement(oa, "seller");
+  doc->AppendAttribute(
+      seller, "person",
+      "person" +
+          std::to_string(rng->Uniform(std::max<size_t>(1, num_persons))));
+  NodeHandle ann = doc->AppendElement(oa, "annotation");
+  NodeHandle author = doc->AppendElement(ann, "author");
+  doc->AppendAttribute(
+      author, "person",
+      "person" +
+          std::to_string(rng->Uniform(std::max<size_t>(1, num_persons))));
+  NodeHandle adesc = doc->AppendElement(ann, "description");
+  Text(doc, adesc, rng, static_cast<int>(3 + rng->Uniform(8)));
+  SimpleTextChild(doc, oa, "quantity", std::to_string(1 + rng->Uniform(5)));
+  SimpleTextChild(doc, oa, "type", rng->Chance(1, 2) ? "Regular" : "Featured");
+  NodeHandle interval = doc->AppendElement(oa, "interval");
+  SimpleTextChild(doc, interval, "start", "01/01/2001");
+  SimpleTextChild(doc, interval, "end", "12/12/2001");
+}
+
+void MakeClosedAuction(Document* doc, NodeHandle auctions, Rng* rng, size_t id,
+                       size_t num_persons, size_t num_items) {
+  NodeHandle ca = doc->AppendElement(auctions, "closed_auction");
+  SimpleTextChild(doc, ca, "price", kIncreaseAmounts[rng->Uniform(7)]);
+  SimpleTextChild(doc, ca, "date", "15/06/2001");
+  SimpleTextChild(doc, ca, "quantity", std::to_string(1 + rng->Uniform(3)));
+  SimpleTextChild(doc, ca, "type", "Regular");
+  NodeHandle seller = doc->AppendElement(ca, "seller");
+  doc->AppendAttribute(
+      seller, "person",
+      "person" +
+          std::to_string(rng->Uniform(std::max<size_t>(1, num_persons))));
+  NodeHandle buyer = doc->AppendElement(ca, "buyer");
+  doc->AppendAttribute(
+      buyer, "person",
+      "person" +
+          std::to_string(rng->Uniform(std::max<size_t>(1, num_persons))));
+  NodeHandle iref = doc->AppendElement(ca, "itemref");
+  doc->AppendAttribute(
+      iref, "item",
+      "item" + std::to_string(rng->Uniform(std::max<size_t>(1, num_items))));
+  (void)id;
+}
+
+}  // namespace
+
+void GenerateXMark(const XMarkConfig& config, Document* doc) {
+  XVM_CHECK(doc->root() == kNullNode);
+  Rng rng(config.seed);
+
+  // Entity budget: a generated entity serializes to roughly 400-700 bytes.
+  const size_t total_entities =
+      std::max<size_t>(20, config.target_bytes / 520);
+  const size_t num_persons = std::max<size_t>(14, total_entities / 4);
+  const size_t num_auctions = std::max<size_t>(4, (total_entities * 3) / 10);
+  const size_t num_items = std::max<size_t>(6, (total_entities * 3) / 10);
+  const size_t num_closed = std::max<size_t>(2, total_entities / 10);
+  const size_t num_categories = std::max<size_t>(3, total_entities / 20);
+
+  NodeHandle site = doc->CreateRoot("site");
+
+  NodeHandle regions = doc->AppendElement(site, "regions");
+  std::array<NodeHandle, 6> region_nodes;
+  for (size_t r = 0; r < 6; ++r) {
+    region_nodes[r] = doc->AppendElement(regions, kRegions[r]);
+  }
+  for (size_t i = 0; i < num_items; ++i) {
+    MakeItem(doc, region_nodes[i % 6], &rng, i, num_categories);
+  }
+
+  NodeHandle categories = doc->AppendElement(site, "categories");
+  for (size_t c = 0; c < num_categories; ++c) {
+    NodeHandle cat = doc->AppendElement(categories, "category");
+    doc->AppendAttribute(cat, "id", "category" + std::to_string(c));
+    NodeHandle name = doc->AppendElement(cat, "name");
+    Text(doc, name, &rng, 2);
+    NodeHandle descr = doc->AppendElement(cat, "description");
+    Text(doc, descr, &rng, 4);
+  }
+
+  NodeHandle people = doc->AppendElement(site, "people");
+  for (size_t p = 0; p < num_persons; ++p) MakePerson(doc, people, &rng, p);
+
+  NodeHandle open_auctions = doc->AppendElement(site, "open_auctions");
+  for (size_t a = 0; a < num_auctions; ++a) {
+    MakeOpenAuction(doc, open_auctions, &rng, a, num_persons, num_items);
+  }
+
+  NodeHandle closed_auctions = doc->AppendElement(site, "closed_auctions");
+  for (size_t a = 0; a < num_closed; ++a) {
+    MakeClosedAuction(doc, closed_auctions, &rng, a, num_persons, num_items);
+  }
+}
+
+}  // namespace xvm

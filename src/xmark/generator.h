@@ -1,0 +1,33 @@
+#ifndef XVM_XMARK_GENERATOR_H_
+#define XVM_XMARK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "xml/document.h"
+
+namespace xvm {
+
+/// Configuration of the XMark-like auction-document generator. The paper
+/// evaluates on XMark benchmark documents (Schmidt et al., VLDB 2002); this
+/// deterministic generator reproduces the element vocabulary and shape of
+/// auction.xml — site / regions / categories / people / open_auctions /
+/// closed_auctions — scaled by an approximate serialized byte size, so the
+/// Appendix-A views and updates are meaningful on it.
+struct XMarkConfig {
+  /// Approximate serialized size to aim for (e.g. 100 KB, 10 MB).
+  size_t target_bytes = 100 * 1024;
+  /// PRNG seed; equal configs generate identical documents.
+  uint64_t seed = 7;
+};
+
+/// Generates the document into `doc` (must be empty).
+void GenerateXMark(const XMarkConfig& config, Document* doc);
+
+/// Convenience: generator + canonical increase amounts (Q3's "4.50" is
+/// guaranteed to occur as a bidder increase when there are bidders).
+extern const char* const kIncreaseAmounts[7];
+
+}  // namespace xvm
+
+#endif  // XVM_XMARK_GENERATOR_H_

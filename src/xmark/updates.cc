@@ -1,0 +1,111 @@
+#include "xmark/updates.h"
+
+namespace xvm {
+
+namespace {
+
+constexpr const char kNameForest[] =
+    "<name>Martin"
+    "<name>and</name><name>some</name><name>test</name><name>nodes</name>"
+    "</name>";
+
+constexpr const char kIncreaseForest[] =
+    "<increase>inserted 100.00"
+    "<increase>and</increase><increase>some</increase>"
+    "<increase>test</increase><increase>nodes</increase>"
+    "</increase>";
+
+constexpr const char kItemForest[] =
+    "<item><location>Unknown</location><quantity>1</quantity>"
+    "<name>inserted item</name>"
+    "<payment>Creditcard, Personal Check, Cash</payment></item>";
+
+std::vector<XMarkUpdate> BuildUpdates() {
+  return {
+      // ---- Linear path expressions (A.1) ----
+      {"X1_L", "L", "/site/people/person", kNameForest},
+      {"X2_L", "L", "/site/open_auctions/open_auction/bidder",
+       kIncreaseForest},
+      {"B3_L", "L", "/site/open_auctions/open_auction/bidder",
+       kIncreaseForest},
+      {"E6_L", "L", "/site/regions/*/item", kItemForest},
+      {"X17_L", "L", "/site/regions//item", kItemForest},
+      {"B5_L", "L", "/site/regions/*/item/name", kItemForest},
+      // ---- Linear with boolean filter (A.2) ----
+      {"B7_LB", "LB", "//person[profile/@income]", kNameForest},
+      {"B3_LB", "LB", "/site/open_auctions/open_auction[reserve]/bidder",
+       kIncreaseForest},
+      {"B5_LB", "LB", "/site/regions/*/item[name]", kItemForest},
+      // ---- AND predicates (A.3) ----
+      {"A6_A", "A", "/site/people/person[phone and homepage]", kNameForest},
+      {"X3_A", "A",
+       "/site/open_auctions/open_auction[privacy and bidder]/bidder",
+       kIncreaseForest},
+      {"B1_A", "A", "/site/regions[namerica or samerica]//item", kItemForest},
+      {"E6_A", "A", "/site/regions/*/item[description][name]", kItemForest},
+      {"X16_A", "A", "/site/regions/namerica/item[description and name]",
+       kItemForest},
+      {"X20_A", "A", "/site/regions//item[description][name]", kItemForest},
+      // ---- OR predicates (A.4) ----
+      {"A7_O", "O", "/site/people/person[phone or homepage]", kNameForest},
+      {"X4_O", "O",
+       "/site/open_auctions/open_auction[bidder or privacy]/bidder",
+       kIncreaseForest},
+      {"X7_O", "O", "/site/regions//item[description or name]", kItemForest},
+      // Appendix B1_O uses regions[...]/item, which selects nothing on XMark
+      // documents (items sit under a region element); we use the /*/ form so
+      // the update actually exercises the view, as the B1_O plots do.
+      {"B1_O", "O", "/site/regions[namerica or samerica]/*/item", kItemForest},
+      // ---- AND + OR predicates (A.5) ----
+      {"A8_AO", "AO",
+       "/site/people/person[address and (phone or homepage) and "
+       "(creditcard or profile)]",
+       kNameForest},
+      {"X5_AO", "AO",
+       "/site/open_auctions/open_auction[current and (bidder or reserve)]"
+       "/bidder",
+       kIncreaseForest},
+      {"X8_AO", "AO",
+       "/site/regions//item[description and (name or mailbox)]", kItemForest},
+  };
+}
+
+}  // namespace
+
+const std::vector<XMarkUpdate>& XMarkUpdates() {
+  static const std::vector<XMarkUpdate>& updates =
+      *new std::vector<XMarkUpdate>(BuildUpdates());
+  return updates;
+}
+
+StatusOr<XMarkUpdate> FindXMarkUpdate(const std::string& name) {
+  for (const auto& u : XMarkUpdates()) {
+    if (u.name == name) return u;
+  }
+  return Status::NotFound("unknown XMark update: " + name);
+}
+
+UpdateStmt MakeInsertStmt(const XMarkUpdate& u) {
+  return UpdateStmt::InsertForest(u.target, u.forest, u.name);
+}
+
+UpdateStmt MakeDeleteStmt(const XMarkUpdate& u) {
+  return UpdateStmt::Delete(u.target, u.name);
+}
+
+std::vector<std::pair<std::string, std::string>> XMarkViewUpdatePairs() {
+  return {
+      {"Q1", "X1_L"},   {"Q1", "A6_A"},   {"Q1", "A7_O"},  {"Q1", "A8_AO"},
+      {"Q1", "B7_LB"},  {"Q2", "X2_L"},   {"Q2", "X3_A"},  {"Q2", "X4_O"},
+      {"Q2", "X5_AO"},  {"Q2", "B3_LB"},  {"Q3", "X2_L"},  {"Q3", "X3_A"},
+      {"Q3", "X4_O"},   {"Q3", "X5_AO"},  {"Q3", "B3_LB"}, {"Q4", "X2_L"},
+      {"Q4", "X3_A"},   {"Q4", "X4_O"},   {"Q4", "X5_AO"}, {"Q4", "B3_LB"},
+      {"Q6", "B1_A"},   {"Q6", "B5_LB"},  {"Q6", "E6_L"},  {"Q6", "X7_O"},
+      {"Q6", "X8_AO"},  {"Q13", "B1_O"},  {"Q13", "B5_LB"},
+      {"Q13", "X16_A"}, {"Q13", "X17_L"}, {"Q13", "X8_AO"},
+      {"Q17", "X1_L"},  {"Q17", "A6_A"},  {"Q17", "A7_O"}, {"Q17", "A8_AO"},
+      {"Q17", "B7_LB"},
+  };
+}
+
+}  // namespace xvm

@@ -1,0 +1,40 @@
+#ifndef XVM_XMARK_UPDATES_H_
+#define XVM_XMARK_UPDATES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "update/update.h"
+
+namespace xvm {
+
+/// One XPathMark-derived update of Appendix A: a target path of one of the
+/// five syntactic classes, plus the XML forest that the insertion variant
+/// copies under each target. The deletion variant deletes the targets
+/// (§6.1: "inserting dummy elements into each of (or deleting,
+/// respectively) the nodes returned by the respective XPathMark query").
+struct XMarkUpdate {
+  std::string name;    // e.g. "X1_L"
+  std::string klass;   // "L", "LB", "A", "O", "AO"
+  std::string target;  // XPath{/,//,*,[]} with and/or predicates
+  std::string forest;  // insertion payload
+};
+
+/// The full update set of Appendix A (plus X2_L / X16_A used in Figures
+/// 20-21), in paper order.
+const std::vector<XMarkUpdate>& XMarkUpdates();
+
+/// Looks an update up by name.
+StatusOr<XMarkUpdate> FindXMarkUpdate(const std::string& name);
+
+/// Builds the insert / delete statement of an update.
+UpdateStmt MakeInsertStmt(const XMarkUpdate& u);
+UpdateStmt MakeDeleteStmt(const XMarkUpdate& u);
+
+/// The (view, update) pairs of Figures 18-21, in figure order.
+std::vector<std::pair<std::string, std::string>> XMarkViewUpdatePairs();
+
+}  // namespace xvm
+
+#endif  // XVM_XMARK_UPDATES_H_

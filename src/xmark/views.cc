@@ -1,0 +1,85 @@
+#include "xmark/views.h"
+
+namespace xvm {
+
+namespace {
+
+struct NamedPattern {
+  const char* name;
+  const char* dsl;
+};
+
+/// Appendix A.6, in the P dialect. All pattern nodes store IDs (the paper's
+/// §6 setup); "returned" nodes also store val or cont.
+constexpr NamedPattern kViews[] = {
+    // Q1: person[@id] return name text().
+    {"Q1", "/site{id}(/people{id}(/person{id}(/@id{id},/name{id,val})))"},
+    // Q2: open_auction bidders' increase subtrees.
+    {"Q2",
+     "/site{id}(/open_auctions{id}(/open_auction{id}(/bidder{id}"
+     "(/increase{id,cont}))))"},
+    // Q3: increases equal to "4.50".
+    {"Q3",
+     "/site{id}(/open_auctions{id}(/open_auction{id}(/bidder{id}"
+     "(/increase{id,val}[val=\"4.50\"]))))"},
+    // Q4: bidders referring to person12; return increase text.
+    {"Q4",
+     "/site{id}(/open_auctions{id}(/open_auction{id}(/bidder{id}"
+     "(/personref{id}(/@person{id}[val=\"person12\"]),/increase{id,val}))))"},
+    // Q6: all items under regions (content).
+    {"Q6", "/site{id}(/regions{id}(//item{id,cont}))"},
+    // Q13: North-American items: name text and description content.
+    {"Q13",
+     "/site{id}(/regions{id}(/namerica{id}(/item{id}(/name{id,val},"
+     "/description{id,cont}))))"},
+    // Q17: persons with a homepage; return name text.
+    {"Q17",
+     "/site{id}(/people{id}(/person{id}(/homepage{id},/name{id,val})))"},
+};
+
+/// §6.3 Q1 annotation variants over /site/people/person[@id]/name.
+constexpr NamedPattern kQ1Variants[] = {
+    {"IDs", "/site{id}(/people{id}(/person{id}(/@id{id},/name{id})))"},
+    {"VC_Leaf",
+     "/site{id}(/people{id}(/person{id}(/@id{id},/name{id,val,cont})))"},
+    {"VC_Root",
+     "/site{id,val,cont}(/people{id}(/person{id}(/@id{id},/name{id})))"},
+    {"VC_AllButRoot",
+     "/site{id}(/people{id,val,cont}(/person{id,val,cont}(/@id{id},"
+     "/name{id,val,cont})))"},
+    {"VC_All",
+     "/site{id,val,cont}(/people{id,val,cont}(/person{id,val,cont}(/@id{id},"
+     "/name{id,val,cont})))"},
+};
+
+}  // namespace
+
+StatusOr<ViewDefinition> XMarkView(const std::string& name) {
+  for (const auto& v : kViews) {
+    if (name == v.name) return ViewDefinition::Create(name, v.dsl);
+  }
+  return Status::NotFound("unknown XMark view: " + name);
+}
+
+std::vector<std::string> XMarkViewNames() {
+  std::vector<std::string> out;
+  for (const auto& v : kViews) out.emplace_back(v.name);
+  return out;
+}
+
+StatusOr<ViewDefinition> XMarkQ1Variant(const std::string& variant) {
+  for (const auto& v : kQ1Variants) {
+    if (variant == v.name) {
+      return ViewDefinition::Create("Q1_" + variant, v.dsl);
+    }
+  }
+  return Status::NotFound("unknown Q1 variant: " + variant);
+}
+
+std::vector<std::string> XMarkQ1VariantNames() {
+  std::vector<std::string> out;
+  for (const auto& v : kQ1Variants) out.emplace_back(v.name);
+  return out;
+}
+
+}  // namespace xvm

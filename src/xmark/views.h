@@ -1,0 +1,29 @@
+#ifndef XVM_XMARK_VIEWS_H_
+#define XVM_XMARK_VIEWS_H_
+
+#include <string>
+#include <vector>
+
+#include "view/view_def.h"
+
+namespace xvm {
+
+/// The XMark benchmark queries used as views in the paper's evaluation
+/// (§6.1, Appendix A.6): Q1, Q2, Q3, Q4, Q6, Q13 and Q17, translated into
+/// the tree-pattern dialect P with the annotations the paper uses (all
+/// nodes store IDs; returned nodes additionally store val/cont).
+StatusOr<ViewDefinition> XMarkView(const std::string& name);
+
+/// Names accepted by XMarkView, in paper order.
+std::vector<std::string> XMarkViewNames();
+
+/// The Q1 annotation variants of §6.3 / Figure 24: where val+cont are
+/// stored relative to the view tree. Accepted names:
+///   "IDs", "VC_Leaf", "VC_Root", "VC_AllButRoot", "VC_All".
+StatusOr<ViewDefinition> XMarkQ1Variant(const std::string& variant);
+
+std::vector<std::string> XMarkQ1VariantNames();
+
+}  // namespace xvm
+
+#endif  // XVM_XMARK_VIEWS_H_

@@ -1,0 +1,273 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <string>
+
+namespace xvm {
+
+namespace {
+
+/// Recursive-descent parser over a string_view with positional error
+/// reporting.
+class Parser {
+ public:
+  Parser(std::string_view input, Document* doc) : in_(input), doc_(doc) {}
+
+  Status ParseInto(NodeHandle parent_or_null, bool forest) {
+    SkipMisc();
+    if (forest) {
+      while (!AtEnd()) {
+        XVM_RETURN_IF_ERROR(ParseContentItem(parent_or_null));
+        SkipMisc();
+      }
+      return Status::Ok();
+    }
+    if (AtEnd() || Peek() != '<') {
+      return Err("expected a root element");
+    }
+    NodeHandle root;
+    XVM_RETURN_IF_ERROR(ParseElement(kNullNode, &root));
+    SkipMisc();
+    if (!AtEnd()) return Err("trailing content after root element");
+    return Status::Ok();
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < in_.size() ? in_[pos_ + off] : '\0';
+  }
+  bool Match(std::string_view s) {
+    if (in_.substr(pos_, s.size()) == s) {
+      pos_ += s.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  /// Skips whitespace, XML declarations, comments and DOCTYPE.
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (Match("<?")) {
+        while (!AtEnd() && !Match("?>")) ++pos_;
+      } else if (in_.substr(pos_, 4) == "<!--") {
+        pos_ += 4;
+        while (!AtEnd() && !Match("-->")) ++pos_;
+      } else if (in_.substr(pos_, 2) == "<!" &&
+                 in_.substr(pos_, 9) != "<![CDATA[") {
+        // DOCTYPE or similar declaration; skip to matching '>'.
+        pos_ += 2;  // consume "<!"
+        int depth = 0;
+        while (!AtEnd()) {
+          char c = in_[pos_++];
+          if (c == '<') ++depth;
+          if (c == '>') {
+            if (depth == 0) break;
+            --depth;
+          }
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  Status ParseName(std::string* name) {
+    if (AtEnd() || !IsNameStart(Peek())) return Err("expected a name");
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    *name = std::string(in_.substr(start, pos_ - start));
+    return Status::Ok();
+  }
+
+  Status DecodeEntity(std::string* out) {
+    // Called with pos_ on '&'.
+    ++pos_;
+    size_t semi = in_.find(';', pos_);
+    if (semi == std::string_view::npos || semi - pos_ > 10) {
+      return Err("unterminated entity reference");
+    }
+    std::string_view ent = in_.substr(pos_, semi - pos_);
+    pos_ = semi + 1;
+    if (ent == "amp") *out += '&';
+    else if (ent == "lt") *out += '<';
+    else if (ent == "gt") *out += '>';
+    else if (ent == "quot") *out += '"';
+    else if (ent == "apos") *out += '\'';
+    else if (!ent.empty() && ent[0] == '#') {
+      int base = 10;
+      std::string_view digits = ent.substr(1);
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        base = 16;
+        digits = digits.substr(1);
+      }
+      long code = std::strtol(std::string(digits).c_str(), nullptr, base);
+      if (code <= 0 || code > 0x10FFFF) return Err("bad character reference");
+      // Minimal UTF-8 encoding.
+      if (code < 0x80) {
+        *out += static_cast<char>(code);
+      } else if (code < 0x800) {
+        *out += static_cast<char>(0xC0 | (code >> 6));
+        *out += static_cast<char>(0x80 | (code & 0x3F));
+      } else if (code < 0x10000) {
+        *out += static_cast<char>(0xE0 | (code >> 12));
+        *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+        *out += static_cast<char>(0x80 | (code & 0x3F));
+      } else {
+        *out += static_cast<char>(0xF0 | (code >> 18));
+        *out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+        *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+        *out += static_cast<char>(0x80 | (code & 0x3F));
+      }
+    } else {
+      return Err("unknown entity '&" + std::string(ent) + ";'");
+    }
+    return Status::Ok();
+  }
+
+  Status ParseAttrValue(std::string* value) {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Err("expected a quoted attribute value");
+    }
+    char quote = Peek();
+    ++pos_;
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '&') {
+        XVM_RETURN_IF_ERROR(DecodeEntity(value));
+      } else {
+        *value += in_[pos_++];
+      }
+    }
+    if (AtEnd()) return Err("unterminated attribute value");
+    ++pos_;  // closing quote
+    return Status::Ok();
+  }
+
+  Status ParseElement(NodeHandle parent, NodeHandle* out) {
+    if (!Match("<")) return Err("expected '<'");
+    std::string name;
+    XVM_RETURN_IF_ERROR(ParseName(&name));
+    NodeHandle elem = parent == kNullNode ? doc_->CreateRoot(name)
+                                          : doc_->AppendElement(parent, name);
+    if (out != nullptr) *out = elem;
+
+    // Attributes.
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Err("unterminated start tag");
+      if (Peek() == '>' || Peek() == '/') break;
+      std::string attr_name;
+      XVM_RETURN_IF_ERROR(ParseName(&attr_name));
+      SkipWhitespace();
+      if (!Match("=")) return Err("expected '=' after attribute name");
+      SkipWhitespace();
+      std::string value;
+      XVM_RETURN_IF_ERROR(ParseAttrValue(&value));
+      doc_->AppendAttribute(elem, attr_name, value);
+    }
+    if (Match("/>")) return Status::Ok();
+    if (!Match(">")) return Err("expected '>'");
+
+    // Content.
+    for (;;) {
+      if (AtEnd()) return Err("unterminated element <" + name + ">");
+      if (in_.substr(pos_, 2) == "</") {
+        pos_ += 2;
+        std::string close;
+        XVM_RETURN_IF_ERROR(ParseName(&close));
+        SkipWhitespace();
+        if (!Match(">")) return Err("expected '>' in end tag");
+        if (close != name) {
+          return Err("mismatched end tag </" + close + "> for <" + name + ">");
+        }
+        return Status::Ok();
+      }
+      XVM_RETURN_IF_ERROR(ParseContentItem(elem));
+    }
+  }
+
+  /// Parses one content item (element, text run, comment, CDATA) under
+  /// `parent`.
+  Status ParseContentItem(NodeHandle parent) {
+    if (in_.substr(pos_, 4) == "<!--") {
+      pos_ += 4;
+      while (!AtEnd() && !Match("-->")) ++pos_;
+      return Status::Ok();
+    }
+    if (Match("<![CDATA[")) {
+      std::string text;
+      while (!AtEnd() && !Match("]]>")) text += in_[pos_++];
+      if (!text.empty()) doc_->AppendText(parent, text);
+      return Status::Ok();
+    }
+    if (!AtEnd() && Peek() == '<') {
+      if (PeekAt(1) == '?') {
+        pos_ += 2;
+        while (!AtEnd() && !Match("?>")) ++pos_;
+        return Status::Ok();
+      }
+      return ParseElement(parent, nullptr);
+    }
+    // Text run.
+    std::string text;
+    while (!AtEnd() && Peek() != '<') {
+      if (Peek() == '&') {
+        XVM_RETURN_IF_ERROR(DecodeEntity(&text));
+      } else {
+        text += in_[pos_++];
+      }
+    }
+    // Whitespace-only runs between elements are ignored (the paper's data
+    // model has no mixed-content significance for indentation).
+    bool all_space = true;
+    for (char c : text) {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        all_space = false;
+        break;
+      }
+    }
+    if (!all_space) doc_->AppendText(parent, text);
+    return Status::Ok();
+  }
+
+  std::string_view in_;
+  Document* doc_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ParseDocument(std::string_view xml, Document* doc) {
+  XVM_CHECK(doc->root() == kNullNode);
+  Parser p(xml, doc);
+  return p.ParseInto(kNullNode, /*forest=*/false);
+}
+
+Status ParseForest(std::string_view xml, Document* doc) {
+  XVM_CHECK(doc->root() == kNullNode);
+  NodeHandle root = doc->CreateRoot(kForestRootLabel);
+  Parser p(xml, doc);
+  return p.ParseInto(root, /*forest=*/true);
+}
+
+}  // namespace xvm

@@ -1,0 +1,27 @@
+#ifndef XVM_XML_PARSER_H_
+#define XVM_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace xvm {
+
+/// Parses an XML document (single root element) into `doc`, which must be
+/// empty. Supports the fragment used throughout the paper: elements,
+/// attributes, text, XML declaration, comments, DOCTYPE (skipped), CDATA,
+/// and the five predefined entities plus numeric character references.
+Status ParseDocument(std::string_view xml, Document* doc);
+
+/// Parses an XML forest (zero or more sibling trees, as appears in
+/// `insert xml into q` statements, §2.3). The trees become the children of a
+/// synthetic "#forest" root in `doc`.
+Status ParseForest(std::string_view xml, Document* doc);
+
+/// Reserved root label used by ParseForest.
+inline constexpr const char kForestRootLabel[] = "#forest";
+
+}  // namespace xvm
+
+#endif  // XVM_XML_PARSER_H_

@@ -1,0 +1,68 @@
+#include "xml/serializer.h"
+
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace xvm {
+
+namespace {
+
+void SerializeRec(const Document& doc, NodeHandle h, std::string* out) {
+  const Node& n = doc.node(h);
+  switch (n.kind) {
+    case NodeKind::kText:
+      out->append(XmlEscape(n.text));
+      return;
+    case NodeKind::kAttribute:
+      // Attributes are serialized by their parent's start tag.
+      return;
+    case NodeKind::kElement:
+      break;
+  }
+  const std::string& name = doc.dict().Name(n.label);
+  out->push_back('<');
+  out->append(name);
+  // Emit attribute children into the start tag.
+  bool has_content = false;
+  for (NodeHandle c = n.first_child; c != kNullNode;
+       c = doc.node(c).next_sibling) {
+    const Node& cn = doc.node(c);
+    if (cn.kind == NodeKind::kAttribute) {
+      const std::string& aname = doc.dict().Name(cn.label);
+      out->push_back(' ');
+      out->append(aname.substr(1));  // strip '@'
+      out->append("=\"");
+      out->append(XmlEscape(cn.text));
+      out->push_back('"');
+    } else {
+      has_content = true;
+    }
+  }
+  if (!has_content) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+  for (NodeHandle c = n.first_child; c != kNullNode;
+       c = doc.node(c).next_sibling) {
+    SerializeRec(doc, c, out);
+  }
+  out->append("</");
+  out->append(name);
+  out->push_back('>');
+}
+
+}  // namespace
+
+std::string SerializeSubtree(const Document& doc, NodeHandle h) {
+  std::string out;
+  SerializeRec(doc, h, &out);
+  return out;
+}
+
+std::string SerializeDocument(const Document& doc) {
+  XVM_CHECK(doc.root() != kNullNode);
+  return SerializeSubtree(doc, doc.root());
+}
+
+}  // namespace xvm

@@ -1,0 +1,20 @@
+#ifndef XVM_XML_SERIALIZER_H_
+#define XVM_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/document.h"
+
+namespace xvm {
+
+/// Serializes the subtree rooted at `h` to XML text. Attributes are emitted
+/// inside the start tag; text is XML-escaped. This is the `cont` annotation
+/// of the paper's tree-pattern dialect.
+std::string SerializeSubtree(const Document& doc, NodeHandle h);
+
+/// Serializes the whole document (requires a root).
+std::string SerializeDocument(const Document& doc);
+
+}  // namespace xvm
+
+#endif  // XVM_XML_SERIALIZER_H_

@@ -1,0 +1,76 @@
+#include "xpath/xpath_ast.h"
+
+namespace xvm {
+
+namespace {
+
+void AppendStep(const XPathStep& s, std::string* out) {
+  out->append(s.axis == XPathAxis::kChild ? "/" : "//");
+  switch (s.test) {
+    case XPathTest::kName: out->append(s.name); break;
+    case XPathTest::kAnyElement: out->append("*"); break;
+    case XPathTest::kAttribute: out->append("@").append(s.name); break;
+    case XPathTest::kSelf: out->append("."); break;
+    case XPathTest::kText: out->append("text()"); break;
+  }
+  for (const auto& p : s.predicates) {
+    out->push_back('[');
+    // Re-render predicates recursively.
+    std::string rendered;
+    std::vector<const XPathPredicate*> todo = {&p};
+    // Simple recursive lambda via explicit function.
+    struct Renderer {
+      static void Render(const XPathPredicate& pred, std::string* o) {
+        switch (pred.kind) {
+          case XPathPredicate::Kind::kAnd:
+          case XPathPredicate::Kind::kOr: {
+            o->push_back('(');
+            Render(pred.children[0], o);
+            o->append(pred.kind == XPathPredicate::Kind::kAnd ? " and "
+                                                              : " or ");
+            Render(pred.children[1], o);
+            o->push_back(')');
+            break;
+          }
+          case XPathPredicate::Kind::kExists:
+          case XPathPredicate::Kind::kEquals:
+          case XPathPredicate::Kind::kNotEquals: {
+            if (pred.path.leading_self && pred.path.steps.empty()) {
+              o->push_back('.');
+            } else {
+              std::string path;
+              for (size_t i = 0; i < pred.path.steps.size(); ++i) {
+                AppendStep(pred.path.steps[i], &path);
+              }
+              // Relative paths drop the leading '/'.
+              if (!path.empty() && path[0] == '/' && path.substr(0, 2) != "//") {
+                path = path.substr(1);
+              }
+              o->append(path);
+            }
+            if (pred.kind == XPathPredicate::Kind::kEquals) {
+              o->append("=\"").append(pred.literal).append("\"");
+            } else if (pred.kind == XPathPredicate::Kind::kNotEquals) {
+              o->append("!=\"").append(pred.literal).append("\"");
+            }
+            break;
+          }
+        }
+      }
+    };
+    (void)todo;
+    Renderer::Render(p, &rendered);
+    out->append(rendered);
+    out->push_back(']');
+  }
+}
+
+}  // namespace
+
+std::string XPathExpr::ToString() const {
+  std::string out;
+  for (const auto& s : steps) AppendStep(s, &out);
+  return out;
+}
+
+}  // namespace xvm

@@ -1,0 +1,75 @@
+#ifndef XVM_XPATH_XPATH_AST_H_
+#define XVM_XPATH_XPATH_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xvm {
+
+/// AST for the XPath{/,//,*,[]} dialect used by the paper for update target
+/// paths and view main paths (§2.2, Appendix A): child and descendant axes,
+/// name / '*' / attribute node tests, and predicates combining relative
+/// paths, string comparisons, `and` and `or`.
+
+enum class XPathAxis : uint8_t {
+  kChild,       // '/'
+  kDescendant,  // '//' (descendant-or-self::node()/child:: shorthand — here
+                //       simply "descendant" which matches the paper's use)
+};
+
+enum class XPathTest : uint8_t {
+  kName,       // element name
+  kAnyElement, // '*'
+  kAttribute,  // '@name'
+  kSelf,       // '.' (only meaningful inside predicates)
+  kText,       // 'text()'
+};
+
+struct XPathPredicate;
+
+/// One location step.
+struct XPathStep {
+  XPathAxis axis = XPathAxis::kChild;
+  XPathTest test = XPathTest::kName;
+  std::string name;  // element name or attribute name (without '@')
+  std::vector<XPathPredicate> predicates;
+};
+
+/// A relative path (sequence of steps from a context node). An empty step
+/// list with leading_self means ".".
+struct XPathRelPath {
+  std::vector<XPathStep> steps;
+  bool leading_self = false;  // path started with '.'
+};
+
+/// Predicate expression tree.
+struct XPathPredicate {
+  enum class Kind : uint8_t {
+    kExists,    // [ relpath ]
+    kEquals,    // [ relpath = "literal" ]
+    kNotEquals, // [ relpath != "literal" ]
+    kAnd,
+    kOr,
+  };
+  Kind kind = Kind::kExists;
+  XPathRelPath path;       // for kExists / kEquals / kNotEquals
+  std::string literal;     // for kEquals / kNotEquals
+  std::vector<XPathPredicate> children;  // for kAnd / kOr (exactly 2)
+};
+
+/// An absolute path expression.
+struct XPathExpr {
+  std::vector<XPathStep> steps;
+
+  std::string ToString() const;
+};
+
+/// Parses an absolute XPath expression ("/a/b[c and @d='x']//e").
+StatusOr<XPathExpr> ParseXPath(std::string_view text);
+
+}  // namespace xvm
+
+#endif  // XVM_XPATH_XPATH_AST_H_

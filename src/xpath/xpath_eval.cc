@@ -1,0 +1,160 @@
+#include "xpath/xpath_eval.h"
+
+#include <algorithm>
+
+namespace xvm {
+
+namespace {
+
+bool MatchesTest(const Document& doc, NodeHandle h, const XPathStep& step) {
+  const Node& n = doc.node(h);
+  switch (step.test) {
+    case XPathTest::kName:
+      return n.kind == NodeKind::kElement &&
+             doc.dict().Name(n.label) == step.name;
+    case XPathTest::kAnyElement:
+      return n.kind == NodeKind::kElement;
+    case XPathTest::kAttribute:
+      return n.kind == NodeKind::kAttribute &&
+             doc.dict().Name(n.label) == "@" + step.name;
+    case XPathTest::kText:
+      return n.kind == NodeKind::kText;
+    case XPathTest::kSelf:
+      return true;
+  }
+  return false;
+}
+
+bool EvalPredicate(const Document& doc, NodeHandle ctx,
+                   const XPathPredicate& pred);
+
+bool EvalStep(const Document& doc, const std::vector<NodeHandle>& contexts,
+              const XPathStep& step, std::vector<NodeHandle>* out) {
+  for (NodeHandle ctx : contexts) {
+    if (step.axis == XPathAxis::kChild) {
+      for (NodeHandle c = doc.node(ctx).first_child; c != kNullNode;
+           c = doc.node(c).next_sibling) {
+        if (MatchesTest(doc, c, step)) out->push_back(c);
+      }
+    } else {
+      // Descendant axis: every node strictly below ctx.
+      for (NodeHandle d : doc.SubtreeNodes(ctx)) {
+        if (d == ctx) continue;
+        if (MatchesTest(doc, d, step)) out->push_back(d);
+      }
+    }
+  }
+  // Apply predicates.
+  if (!step.predicates.empty()) {
+    std::vector<NodeHandle> filtered;
+    for (NodeHandle h : *out) {
+      bool keep = true;
+      for (const auto& p : step.predicates) {
+        if (!EvalPredicate(doc, h, p)) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) filtered.push_back(h);
+    }
+    *out = std::move(filtered);
+  }
+  // Document order, no duplicates (descendant axis from nested contexts can
+  // produce both).
+  std::sort(out->begin(), out->end(),
+            [&doc](NodeHandle a, NodeHandle b) {
+              return doc.node(a).id < doc.node(b).id;
+            });
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return true;
+}
+
+std::vector<NodeHandle> EvalStepsFrom(const Document& doc,
+                                      std::vector<NodeHandle> contexts,
+                                      const std::vector<XPathStep>& steps) {
+  for (const auto& step : steps) {
+    std::vector<NodeHandle> next;
+    EvalStep(doc, contexts, step, &next);
+    contexts = std::move(next);
+    if (contexts.empty()) break;
+  }
+  return contexts;
+}
+
+bool EvalPredicate(const Document& doc, NodeHandle ctx,
+                   const XPathPredicate& pred) {
+  switch (pred.kind) {
+    case XPathPredicate::Kind::kAnd:
+      return EvalPredicate(doc, ctx, pred.children[0]) &&
+             EvalPredicate(doc, ctx, pred.children[1]);
+    case XPathPredicate::Kind::kOr:
+      return EvalPredicate(doc, ctx, pred.children[0]) ||
+             EvalPredicate(doc, ctx, pred.children[1]);
+    case XPathPredicate::Kind::kExists:
+    case XPathPredicate::Kind::kEquals:
+    case XPathPredicate::Kind::kNotEquals: {
+      std::vector<NodeHandle> nodes;
+      if (pred.path.leading_self && pred.path.steps.empty()) {
+        nodes = {ctx};
+      } else {
+        nodes = EvalStepsFrom(doc, {ctx}, pred.path.steps);
+      }
+      if (pred.kind == XPathPredicate::Kind::kExists) return !nodes.empty();
+      // XPath existential comparison semantics: true iff *some* node's
+      // string value compares as required.
+      for (NodeHandle h : nodes) {
+        bool eq = doc.StringValue(h) == pred.literal;
+        if (pred.kind == XPathPredicate::Kind::kEquals ? eq : !eq) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<NodeHandle> EvalXPath(const Document& doc, const XPathExpr& expr) {
+  if (doc.root() == kNullNode) return {};
+  // The implicit context of an absolute path is the document node, whose
+  // only child is the root element and whose descendants are all nodes.
+  std::vector<NodeHandle> contexts;
+  const XPathStep& first = expr.steps[0];
+  if (first.axis == XPathAxis::kChild) {
+    if (MatchesTest(doc, doc.root(), first)) contexts.push_back(doc.root());
+  } else {
+    for (NodeHandle h : doc.AllNodes()) {
+      if (MatchesTest(doc, h, first)) contexts.push_back(h);
+    }
+  }
+  // Predicates of the first step.
+  if (!first.predicates.empty()) {
+    std::vector<NodeHandle> filtered;
+    for (NodeHandle h : contexts) {
+      bool keep = true;
+      for (const auto& p : first.predicates) {
+        if (!EvalPredicate(doc, h, p)) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) filtered.push_back(h);
+    }
+    contexts = std::move(filtered);
+  }
+  std::vector<XPathStep> rest(expr.steps.begin() + 1, expr.steps.end());
+  return EvalStepsFrom(doc, std::move(contexts), rest);
+}
+
+std::vector<NodeHandle> EvalXPathFrom(const Document& doc, NodeHandle context,
+                                      const std::vector<XPathStep>& steps) {
+  return EvalStepsFrom(doc, {context}, steps);
+}
+
+StatusOr<std::vector<NodeHandle>> EvalXPathString(const Document& doc,
+                                                  std::string_view path) {
+  XVM_ASSIGN_OR_RETURN(XPathExpr expr, ParseXPath(path));
+  return EvalXPath(doc, expr);
+}
+
+}  // namespace xvm

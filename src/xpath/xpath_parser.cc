@@ -1,0 +1,223 @@
+#include <cctype>
+
+#include "xpath/xpath_ast.h"
+
+namespace xvm {
+
+namespace {
+
+/// Recursive-descent parser for the XPath{/,//,*,[]} dialect with `and`/`or`
+/// predicates and string comparisons.
+class XPathParser {
+ public:
+  explicit XPathParser(std::string_view in) : in_(in) {}
+
+  StatusOr<XPathExpr> Parse() {
+    XPathExpr expr;
+    XVM_RETURN_IF_ERROR(ParseSteps(/*absolute=*/true, &expr.steps));
+    SkipWs();
+    if (pos_ != in_.size()) return Err("trailing characters");
+    if (expr.steps.empty()) return Err("empty path");
+    return expr;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : in_[pos_]; }
+  bool Match(std::string_view s) {
+    if (in_.substr(pos_, s.size()) == s) {
+      pos_ += s.size();
+      return true;
+    }
+    return false;
+  }
+  /// Matches a keyword followed by a non-name character.
+  bool MatchKeyword(std::string_view kw) {
+    if (in_.substr(pos_, kw.size()) != kw) return false;
+    size_t after = pos_ + kw.size();
+    if (after < in_.size() && IsNameChar(in_[after])) return false;
+    pos_ = after;
+    return true;
+  }
+  void SkipWs() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+  Status Err(const std::string& m) const {
+    return Status::ParseError("xpath: " + m + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  }
+  static bool IsNameChar(char c) {
+    return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  Status ParseName(std::string* name) {
+    if (AtEnd() || !IsNameStart(Peek())) return Err("expected a name");
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    *name = std::string(in_.substr(start, pos_ - start));
+    return Status::Ok();
+  }
+
+  /// Parses '/'- or '//'-separated steps. For absolute paths the first
+  /// separator is mandatory; for relative paths the first step has an
+  /// implicit child axis.
+  Status ParseSteps(bool absolute, std::vector<XPathStep>* steps) {
+    bool first = true;
+    for (;;) {
+      SkipWs();
+      XPathAxis axis;
+      if (Match("//")) {
+        axis = XPathAxis::kDescendant;
+      } else if (Match("/")) {
+        axis = XPathAxis::kChild;
+      } else if (first && !absolute) {
+        axis = XPathAxis::kChild;
+      } else {
+        return Status::Ok();  // no more steps
+      }
+      if (first && absolute && axis == XPathAxis::kChild && AtEnd()) {
+        return Err("expected a step after '/'");
+      }
+      XPathStep step;
+      step.axis = axis;
+      XVM_RETURN_IF_ERROR(ParseNodeTest(&step));
+      XVM_RETURN_IF_ERROR(ParsePredicates(&step));
+      steps->push_back(std::move(step));
+      first = false;
+      SkipWs();
+      // Steps continue only with '/' or '//'.
+      if (AtEnd() || Peek() != '/') return Status::Ok();
+    }
+  }
+
+  Status ParseNodeTest(XPathStep* step) {
+    SkipWs();
+    if (Match("*")) {
+      step->test = XPathTest::kAnyElement;
+      return Status::Ok();
+    }
+    if (Match("@")) {
+      step->test = XPathTest::kAttribute;
+      return ParseName(&step->name);
+    }
+    if (Match("text()")) {
+      step->test = XPathTest::kText;
+      return Status::Ok();
+    }
+    step->test = XPathTest::kName;
+    XVM_RETURN_IF_ERROR(ParseName(&step->name));
+    if (Match("()")) return Err("unsupported function call");
+    return Status::Ok();
+  }
+
+  Status ParsePredicates(XPathStep* step) {
+    for (;;) {
+      SkipWs();
+      if (!Match("[")) return Status::Ok();
+      XPathPredicate pred;
+      XVM_RETURN_IF_ERROR(ParseOrExpr(&pred));
+      SkipWs();
+      if (!Match("]")) return Err("expected ']'");
+      step->predicates.push_back(std::move(pred));
+    }
+  }
+
+  Status ParseOrExpr(XPathPredicate* out) {
+    XPathPredicate left;
+    XVM_RETURN_IF_ERROR(ParseAndExpr(&left));
+    for (;;) {
+      SkipWs();
+      if (!MatchKeyword("or")) break;
+      XPathPredicate right;
+      XVM_RETURN_IF_ERROR(ParseAndExpr(&right));
+      XPathPredicate combined;
+      combined.kind = XPathPredicate::Kind::kOr;
+      combined.children.push_back(std::move(left));
+      combined.children.push_back(std::move(right));
+      left = std::move(combined);
+    }
+    *out = std::move(left);
+    return Status::Ok();
+  }
+
+  Status ParseAndExpr(XPathPredicate* out) {
+    XPathPredicate left;
+    XVM_RETURN_IF_ERROR(ParsePrimary(&left));
+    for (;;) {
+      SkipWs();
+      if (!MatchKeyword("and")) break;
+      XPathPredicate right;
+      XVM_RETURN_IF_ERROR(ParsePrimary(&right));
+      XPathPredicate combined;
+      combined.kind = XPathPredicate::Kind::kAnd;
+      combined.children.push_back(std::move(left));
+      combined.children.push_back(std::move(right));
+      left = std::move(combined);
+    }
+    *out = std::move(left);
+    return Status::Ok();
+  }
+
+  Status ParsePrimary(XPathPredicate* out) {
+    SkipWs();
+    if (Match("(")) {
+      XVM_RETURN_IF_ERROR(ParseOrExpr(out));
+      SkipWs();
+      if (!Match(")")) return Err("expected ')'");
+      return Status::Ok();
+    }
+    // A relative path, optionally compared to a string literal.
+    XPathPredicate pred;
+    if (Match(".")) {
+      pred.path.leading_self = true;
+      // Optional continuation "./a/b" — not used by the workloads but cheap.
+      XVM_RETURN_IF_ERROR(ParseSteps(/*absolute=*/true, &pred.path.steps));
+    } else {
+      XVM_RETURN_IF_ERROR(ParseSteps(/*absolute=*/false, &pred.path.steps));
+      if (pred.path.steps.empty()) return Err("expected a predicate path");
+    }
+    SkipWs();
+    if (Match("!=")) {
+      pred.kind = XPathPredicate::Kind::kNotEquals;
+      XVM_RETURN_IF_ERROR(ParseLiteral(&pred.literal));
+    } else if (Match("=")) {
+      pred.kind = XPathPredicate::Kind::kEquals;
+      XVM_RETURN_IF_ERROR(ParseLiteral(&pred.literal));
+    } else {
+      pred.kind = XPathPredicate::Kind::kExists;
+    }
+    *out = std::move(pred);
+    return Status::Ok();
+  }
+
+  Status ParseLiteral(std::string* out) {
+    SkipWs();
+    char quote = Peek();
+    if (quote != '"' && quote != '\'') return Err("expected a string literal");
+    ++pos_;
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != quote) ++pos_;
+    if (AtEnd()) return Err("unterminated string literal");
+    *out = std::string(in_.substr(start, pos_ - start));
+    ++pos_;
+    return Status::Ok();
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<XPathExpr> ParseXPath(std::string_view text) {
+  return XPathParser(text).Parse();
+}
+
+}  // namespace xvm

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/timing.h"
+#include "common/varint.h"
+
+namespace xvm {
+namespace {
+
+TEST(StatusTest, OkAndErrorStates) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  Status err = Status::ParseError("bad token");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kParseError);
+  EXPECT_EQ(err.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, AllCodeNamesDistinct) {
+  const StatusCode codes[] = {
+      StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+      StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+      StatusCode::kParseError, StatusCode::kSchemaViolation,
+      StatusCode::kUnimplemented, StatusCode::kInternal};
+  std::set<std::string> names;
+  for (StatusCode c : codes) names.insert(StatusCodeName(c));
+  EXPECT_EQ(names.size(), sizeof(codes) / sizeof(codes[0]));
+}
+
+StatusOr<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+StatusOr<int> Doubled(int v) {
+  XVM_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(StatusOrTest, ValueAndErrorPropagation) {
+  auto good = Doubled(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  auto bad = Doubled(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VarintTest, RoundTripUnsigned) {
+  const uint64_t values[] = {0, 1, 127, 128, 300, 1u << 20, ~0ull};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  size_t pos = 0;
+  for (uint64_t expected : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(GetVarint64(buf, &pos, &got));
+    EXPECT_EQ(got, expected);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarintTest, RoundTripSigned) {
+  const int64_t values[] = {0, -1, 1, -64, 64, INT64_MIN, INT64_MAX};
+  std::string buf;
+  for (int64_t v : values) PutVarintSigned64(&buf, v);
+  size_t pos = 0;
+  for (int64_t expected : values) {
+    int64_t got = 0;
+    ASSERT_TRUE(GetVarintSigned64(buf, &pos, &got));
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(VarintTest, SmallMagnitudesStayShort) {
+  std::string buf;
+  PutVarintSigned64(&buf, -3);
+  EXPECT_EQ(buf.size(), 1u);  // zigzag keeps small negatives to one byte
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::string buf;
+  PutVarint64(&buf, 1u << 30);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    size_t pos = 0;
+    uint64_t v = 0;
+    EXPECT_FALSE(GetVarint64(buf.substr(0, cut), &pos, &v));
+  }
+}
+
+TEST(ZigZagTest, RoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, INT64_MIN,
+                    INT64_MAX}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+}
+
+TEST(StringsTest, SplitJoin) {
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), std::vector<std::string>{""});
+  EXPECT_EQ(StrJoin({"x", "y", "z"}, "::"), "x::y::z");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("person12", "person"));
+  EXPECT_FALSE(StartsWith("per", "person"));
+  EXPECT_TRUE(EndsWith("auction.xml", ".xml"));
+  EXPECT_FALSE(EndsWith("xml", ".xml"));
+}
+
+TEST(StringsTest, XmlEscape) {
+  EXPECT_EQ(XmlEscape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+  EXPECT_EQ(XmlEscape("plain"), "plain");
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(RngTest, DeterministicAndSpread) {
+  Rng a(5), b(5), c(6);
+  std::vector<uint64_t> seq_a, seq_b;
+  for (int i = 0; i < 10; ++i) {
+    seq_a.push_back(a.Next());
+    seq_b.push_back(b.Next());
+  }
+  EXPECT_EQ(seq_a, seq_b);
+  EXPECT_NE(seq_a[0], c.Next());
+  // Range respects bounds.
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.Range(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(PhaseTimerTest, AccumulateMergeTotal) {
+  PhaseTimer t;
+  t.Add("x", 1.5);
+  t.Add("y", 2.0);
+  t.Add("x", 0.5);
+  EXPECT_DOUBLE_EQ(t.Get("x"), 2.0);
+  EXPECT_DOUBLE_EQ(t.Get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(t.TotalMs(), 4.0);
+
+  PhaseTimer other;
+  other.Add("y", 1.0);
+  other.Add("z", 3.0);
+  t.Merge(other);
+  EXPECT_DOUBLE_EQ(t.Get("y"), 3.0);
+  EXPECT_DOUBLE_EQ(t.Get("z"), 3.0);
+  // First-recorded order preserved.
+  EXPECT_EQ(t.phases()[0].first, "x");
+}
+
+TEST(ScopedPhaseTest, RecordsElapsed) {
+  PhaseTimer t;
+  {
+    ScopedPhase phase(&t, "scope");
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink += i;
+  }
+  EXPECT_GE(t.Get("scope"), 0.0);
+  EXPECT_EQ(t.phases().size(), 1u);
+  // Null timer is tolerated.
+  { ScopedPhase phase(nullptr, "ignored"); }
+}
+
+}  // namespace
+}  // namespace xvm

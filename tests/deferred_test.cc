@@ -1,0 +1,124 @@
+#include "view/deferred.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/compile.h"
+#include "xmark/generator.h"
+#include "xmark/updates.h"
+#include "xmark/views.h"
+#include "xml/parser.h"
+
+namespace xvm {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<Document> doc;
+  std::unique_ptr<StoreIndex> store;
+  std::unique_ptr<DeferredView> view;
+};
+
+Fixture MakeXMarkFixture(const std::string& view_name, uint64_t seed = 29) {
+  Fixture f;
+  f.doc = std::make_unique<Document>();
+  GenerateXMark(XMarkConfig{30 * 1024, seed}, f.doc.get());
+  f.store = std::make_unique<StoreIndex>(f.doc.get());
+  f.store->Build();
+  auto def = XMarkView(view_name);
+  XVM_CHECK(def.ok());
+  f.view = std::make_unique<DeferredView>(std::move(def).value(), f.doc.get(),
+                                          f.store.get(),
+                                          LatticeStrategy::kSnowcaps);
+  f.view->Initialize();
+  return f;
+}
+
+void ExpectUpToDate(Fixture* f) {
+  const MaterializedView& got_view = f->view->Read();
+  const TreePattern& pat = f->view->def().pattern();
+  auto truth = EvalViewWithCounts(pat, StoreLeafSource(f->store.get(), &pat));
+  auto got = got_view.Snapshot();
+  ASSERT_EQ(got.size(), truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(got[i].tuple, truth[i].tuple);
+    EXPECT_EQ(got[i].count, truth[i].count);
+  }
+}
+
+TEST(DeferredViewTest, PropagationWaitsUntilRead) {
+  Fixture f = MakeXMarkFixture("Q1");
+  auto u = FindXMarkUpdate("X1_L");
+  ASSERT_TRUE(u.ok());
+  ASSERT_TRUE(f.view->Apply(MakeInsertStmt(*u)).ok());
+  ASSERT_TRUE(f.view->Apply(MakeInsertStmt(*u)).ok());
+  EXPECT_EQ(f.view->pending(), 2u);
+  ExpectUpToDate(&f);
+  EXPECT_EQ(f.view->pending(), 0u);
+}
+
+TEST(DeferredViewTest, MixedInsertDeleteSequence) {
+  Fixture f = MakeXMarkFixture("Q2");
+  auto ins = FindXMarkUpdate("X2_L");
+  auto del = FindXMarkUpdate("X3_A");
+  ASSERT_TRUE(ins.ok() && del.ok());
+  ASSERT_TRUE(f.view->Apply(MakeInsertStmt(*ins)).ok());
+  ASSERT_TRUE(f.view->Apply(MakeDeleteStmt(*del)).ok());
+  ASSERT_TRUE(f.view->Apply(MakeInsertStmt(*ins)).ok());
+  EXPECT_EQ(f.view->pending(), 3u);
+  ExpectUpToDate(&f);
+}
+
+TEST(DeferredViewTest, LaterUpdateBuildsOnEarlierOne) {
+  // The second statement inserts under nodes created by the first; the
+  // flush must roll the store forward between propagations to see them.
+  Document doc;
+  ASSERT_TRUE(ParseDocument("<r><a/></r>", &doc).ok());
+  StoreIndex store(&doc);
+  store.Build();
+  auto def = ViewDefinition::Create("v", "//a{id}(//b{id}(//c{id}))");
+  ASSERT_TRUE(def.ok());
+  DeferredView view(std::move(def).value(), &doc, &store,
+                    LatticeStrategy::kSnowcaps);
+  view.Initialize();
+
+  ASSERT_TRUE(view.Apply(UpdateStmt::InsertForest("//a", "<b/>")).ok());
+  ASSERT_TRUE(view.Apply(UpdateStmt::InsertForest("//a/b", "<c/>")).ok());
+  const MaterializedView& content = view.Read();
+  EXPECT_EQ(content.size(), 1u);  // the (a, new b, new c) embedding
+}
+
+TEST(DeferredViewTest, InterleavedReadsStayConsistent) {
+  Fixture f = MakeXMarkFixture("Q17");
+  auto u1 = FindXMarkUpdate("A6_A");
+  auto u2 = FindXMarkUpdate("A7_O");
+  ASSERT_TRUE(u1.ok() && u2.ok());
+  ASSERT_TRUE(f.view->Apply(MakeInsertStmt(*u1)).ok());
+  ExpectUpToDate(&f);
+  ASSERT_TRUE(f.view->Apply(MakeDeleteStmt(*u2)).ok());
+  ASSERT_TRUE(f.view->Apply(MakeInsertStmt(*u1)).ok());
+  ExpectUpToDate(&f);
+  ExpectUpToDate(&f);  // idempotent when nothing is pending
+}
+
+TEST(DeferredViewTest, FallbackRecomputesAtFlush) {
+  Document doc;
+  ASSERT_TRUE(
+      ParseDocument("<r><a>5<b/><t>x</t></a><a>5<b/></a></r>", &doc).ok());
+  StoreIndex store(&doc);
+  store.Build();
+  auto def = ViewDefinition::Create("v", "//a{id}[val=\"5\"](//b{id})");
+  ASSERT_TRUE(def.ok());
+  DeferredView view(std::move(def).value(), &doc, &store,
+                    LatticeStrategy::kSnowcaps);
+  view.Initialize();
+  // Deleting <t>x</t> flips the first <a>'s predicate from false to true —
+  // the guard forces a recompute, deferred until the read.
+  ASSERT_TRUE(view.Apply(UpdateStmt::Delete("//a/t")).ok());
+  ASSERT_TRUE(view.Apply(UpdateStmt::InsertForest("//a", "<b/>")).ok());
+  const MaterializedView& content = view.Read();
+  const TreePattern& pat = view.def().pattern();
+  auto truth = EvalViewWithCounts(pat, StoreLeafSource(&store, &pat));
+  EXPECT_EQ(content.Snapshot().size(), truth.size());
+}
+
+}  // namespace
+}  // namespace xvm

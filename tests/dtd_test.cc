@@ -1,0 +1,214 @@
+#include "schema/dtd.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/delta_constraints.h"
+#include "update/delta.h"
+#include "view/schema_guard.h"
+#include "xml/parser.h"
+
+namespace xvm {
+namespace {
+
+// The two DTDs of Figure 5, in DTD syntax. d1 has mandatory edges; d2 has
+// concatenation, disjunction and recursion.
+constexpr const char kDtd1[] =
+    "<!ELEMENT d1 (a)+>"
+    "<!ELEMENT a (b)+>"
+    "<!ELEMENT b (c)>"
+    "<!ELEMENT c EMPTY>";
+
+constexpr const char kDtd2[] =
+    "<!ELEMENT d2 (a, b, c)+>"
+    "<!ELEMENT a (x | b)>"
+    "<!ELEMENT x (x)?>"
+    "<!ELEMENT b EMPTY>"
+    "<!ELEMENT c EMPTY>";
+
+TEST(DtdParseTest, ParsesFigure5Dtds) {
+  auto d1 = Dtd::Parse(kDtd1);
+  ASSERT_TRUE(d1.ok()) << d1.status().ToString();
+  EXPECT_EQ(d1->root(), "d1");
+  EXPECT_TRUE(d1->HasRule("b"));
+  auto d2 = Dtd::Parse(kDtd2);
+  ASSERT_TRUE(d2.ok()) << d2.status().ToString();
+}
+
+TEST(DtdParseTest, RejectsGarbage) {
+  EXPECT_FALSE(Dtd::Parse("<!ELEMENT a (b,|c)>").ok());
+  EXPECT_FALSE(Dtd::Parse("not a dtd").ok());
+  EXPECT_FALSE(Dtd::Parse("").ok());
+  EXPECT_FALSE(Dtd::Parse("<!ELEMENT a (b c)>").ok());
+}
+
+TEST(DtdParseTest, AttlistIgnored) {
+  auto d = Dtd::Parse("<!ELEMENT a (b)><!ATTLIST a id CDATA #REQUIRED>"
+                      "<!ELEMENT b EMPTY>");
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->HasRule("a"));
+}
+
+TEST(ContentModelTest, MatchesSequences) {
+  auto d = Dtd::Parse("<!ELEMENT r (a, b?, (c | d)+, e*)>");
+  ASSERT_TRUE(d.ok());
+  const ContentModel* m = d->Rule("r");
+  ASSERT_NE(m, nullptr);
+  EXPECT_TRUE(MatchesContentModel(*m, {"a", "c"}));
+  EXPECT_TRUE(MatchesContentModel(*m, {"a", "b", "d", "c", "e", "e"}));
+  EXPECT_FALSE(MatchesContentModel(*m, {"a"}));          // needs (c|d)+
+  EXPECT_FALSE(MatchesContentModel(*m, {"c"}));          // needs a
+  EXPECT_FALSE(MatchesContentModel(*m, {"a", "c", "x"}));
+  EXPECT_FALSE(MatchesContentModel(*m, {"b", "a", "c"}));  // order
+}
+
+TEST(ContentModelTest, StarAndPlus) {
+  auto d = Dtd::Parse("<!ELEMENT r (a*)><!ELEMENT s (a+)>");
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(MatchesContentModel(*d->Rule("r"), {}));
+  EXPECT_TRUE(MatchesContentModel(*d->Rule("r"), {"a", "a", "a"}));
+  EXPECT_FALSE(MatchesContentModel(*d->Rule("s"), {}));
+  EXPECT_TRUE(MatchesContentModel(*d->Rule("s"), {"a"}));
+}
+
+TEST(ContentModelTest, NestedGroups) {
+  auto d = Dtd::Parse("<!ELEMENT r ((a, b) | (c, d))*>");
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(MatchesContentModel(*d->Rule("r"), {}));
+  EXPECT_TRUE(MatchesContentModel(*d->Rule("r"), {"a", "b", "c", "d"}));
+  EXPECT_FALSE(MatchesContentModel(*d->Rule("r"), {"a", "d"}));
+}
+
+TEST(DtdValidateTest, ValidDocumentPasses) {
+  auto d = Dtd::Parse(kDtd1);
+  ASSERT_TRUE(d.ok());
+  Document doc;
+  ASSERT_TRUE(
+      ParseDocument("<d1><a><b><c/></b><b><c/></b></a></d1>", &doc).ok());
+  EXPECT_TRUE(d->ValidateDocument(doc).ok());
+}
+
+TEST(DtdValidateTest, MissingMandatoryChildFails) {
+  auto d = Dtd::Parse(kDtd1);
+  ASSERT_TRUE(d.ok());
+  Document doc;
+  ASSERT_TRUE(ParseDocument("<d1><a><b/></a></d1>", &doc).ok());
+  Status st = d->ValidateDocument(doc);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kSchemaViolation);
+}
+
+TEST(DtdValidateTest, WrongRootFails) {
+  auto d = Dtd::Parse(kDtd1);
+  ASSERT_TRUE(d.ok());
+  Document doc;
+  ASSERT_TRUE(ParseDocument("<a><b><c/></b></a>", &doc).ok());
+  EXPECT_FALSE(d->ValidateDocument(doc).ok());
+}
+
+TEST(DtdValidateTest, TextRequiresPcdata) {
+  auto d = Dtd::Parse("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>");
+  ASSERT_TRUE(d.ok());
+  Document ok_doc;
+  ASSERT_TRUE(ParseDocument("<a><b>text</b></a>", &ok_doc).ok());
+  EXPECT_TRUE(d->ValidateDocument(ok_doc).ok());
+  Document bad_doc;
+  ASSERT_TRUE(ParseDocument("<a>stray<b/></a>", &bad_doc).ok());
+  EXPECT_FALSE(d->ValidateDocument(bad_doc).ok());
+}
+
+TEST(DtdValidateTest, UnknownElementsUnconstrained) {
+  auto d = Dtd::Parse("<!ELEMENT a ANY>");
+  ASSERT_TRUE(d.ok());
+  Document doc;
+  ASSERT_TRUE(ParseDocument("<a><mystery><deep/></mystery></a>", &doc).ok());
+  EXPECT_TRUE(d->ValidateDocument(doc).ok());
+}
+
+TEST(RequiredChildrenTest, Figure5aMandatoryEdges) {
+  auto d = Dtd::Parse(kDtd1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->RequiredChildren("b"), std::set<std::string>{"c"});
+  EXPECT_EQ(d->RequiredChildren("a"), std::set<std::string>{"b"});
+  EXPECT_EQ(d->RequiredChildren("c"), std::set<std::string>{});
+}
+
+TEST(RequiredChildrenTest, DisjunctionIntersects) {
+  auto d = Dtd::Parse("<!ELEMENT a ((b, c) | (c, d))>");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->RequiredChildren("a"), std::set<std::string>{"c"});
+}
+
+TEST(RequiredChildrenTest, Figure5bConcatenation) {
+  auto d = Dtd::Parse(kDtd2);
+  ASSERT_TRUE(d.ok());
+  // d2 -> (a, b, c)+ requires all three (Example 3.10).
+  EXPECT_EQ(d->RequiredChildren("d2"),
+            (std::set<std::string>{"a", "b", "c"}));
+  // a -> (x | b): neither is required individually.
+  EXPECT_EQ(d->RequiredChildren("a"), std::set<std::string>{});
+}
+
+TEST(DeltaImplicationTest, DerivedFromDtd) {
+  auto d = Dtd::Parse(kDtd1);
+  ASSERT_TRUE(d.ok());
+  auto implications = DeriveDeltaImplications(*d);
+  // d1=>a, a=>b, b=>c.
+  EXPECT_EQ(implications.size(), 3u);
+}
+
+TEST(SchemaGuardTest, Example39RejectsBWithoutC) {
+  auto d = Dtd::Parse(kDtd1);
+  ASSERT_TRUE(d.ok());
+  SchemaGuard guard(std::move(d).value());
+  // xml5 = <a><b></b></a>: b lacks its mandatory c (Example 3.9).
+  UpdateStmt u5 = UpdateStmt::InsertForest("/d1", "<a><b></b></a>");
+  Status st = guard.AdmitInsert(u5);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kSchemaViolation);
+}
+
+TEST(SchemaGuardTest, AcceptsCompleteInsert) {
+  auto d = Dtd::Parse(kDtd1);
+  ASSERT_TRUE(d.ok());
+  SchemaGuard guard(std::move(d).value());
+  UpdateStmt ok_stmt = UpdateStmt::InsertForest("/d1", "<a><b><c/></b></a>");
+  EXPECT_TRUE(guard.AdmitInsert(ok_stmt).ok());
+}
+
+TEST(SchemaGuardTest, Example310RequiresSiblings) {
+  auto d = Dtd::Parse(kDtd2);
+  ASSERT_TRUE(d.ok());
+  SchemaGuard guard(std::move(d).value());
+  // Inserting an <a> under d2 without b and c violates Δ+a ⇒ (Δ+b ∧ Δ+c).
+  UpdateStmt bad = UpdateStmt::InsertForest("/d2", "<a><b/></a>");
+  EXPECT_FALSE(guard.AdmitInsert(bad).ok());
+  UpdateStmt good = UpdateStmt::InsertForest("/d2", "<a><b/></a><b/><c/>");
+  EXPECT_TRUE(guard.AdmitInsert(good).ok());
+}
+
+TEST(SchemaGuardTest, DeletesPassTrivially) {
+  auto d = Dtd::Parse(kDtd1);
+  ASSERT_TRUE(d.ok());
+  SchemaGuard guard(std::move(d).value());
+  EXPECT_TRUE(guard.AdmitInsert(UpdateStmt::Delete("//b")).ok());
+}
+
+TEST(DeltaConstraintsTest, RuntimeCheckOnRealDeltaTables) {
+  auto d = Dtd::Parse(kDtd1);
+  ASSERT_TRUE(d.ok());
+  auto implications = DeriveDeltaImplications(*d);
+
+  Document doc;
+  ASSERT_TRUE(ParseDocument("<d1><a><b><c/></b></a></d1>", &doc).ok());
+  UpdateStmt bad = UpdateStmt::InsertForest("//a", "<b/>");
+  auto pul = ComputePul(doc, bad);
+  ASSERT_TRUE(pul.ok());
+  ApplyResult applied = ApplyPul(&doc, *pul, nullptr);
+  DeltaTables delta = ComputeDeltaPlus(doc, applied);
+  Status st = CheckDeltaConstraints(implications, delta, doc.dict());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kSchemaViolation);
+}
+
+}  // namespace
+}  // namespace xvm

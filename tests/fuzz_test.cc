@@ -1,0 +1,194 @@
+// Randomized differential testing: random documents, random view patterns,
+// random statement streams — after every statement the maintained view must
+// equal both the store-backed and the navigational from-scratch
+// evaluations, and the document/store invariants must hold.
+
+#include <gtest/gtest.h>
+
+#include "baseline/recompute.h"
+#include "common/rng.h"
+#include "pattern/compile.h"
+#include "view/maintain.h"
+#include "xml/serializer.h"
+#include "xml/parser.h"
+
+namespace xvm {
+namespace {
+
+constexpr const char* kLabels[] = {"a", "b", "c", "d", "e"};
+constexpr size_t kNumLabels = 5;
+
+/// Builds a random document of ~`n` elements with occasional text children.
+void RandomDocument(Rng* rng, int n, Document* doc) {
+  NodeHandle root = doc->CreateRoot("r");
+  std::vector<NodeHandle> nodes = {root};
+  for (int i = 0; i < n; ++i) {
+    NodeHandle parent = nodes[rng->Uniform(nodes.size())];
+    NodeHandle fresh =
+        doc->AppendElement(parent, kLabels[rng->Uniform(kNumLabels)]);
+    nodes.push_back(fresh);
+    if (rng->Chance(1, 4)) {
+      doc->AppendText(fresh, std::to_string(rng->Uniform(3)));
+    }
+  }
+}
+
+/// A random conjunctive pattern of 2-4 nodes over the label alphabet.
+/// Patterns avoid value predicates so updates never trip the conservative
+/// recompute fallback (the fallback path has its own tests).
+TreePattern RandomPattern(Rng* rng) {
+  std::string dsl = std::string("//") + kLabels[rng->Uniform(kNumLabels)] +
+                    "{id}";
+  size_t extra = 1 + rng->Uniform(3);
+  std::vector<std::string> branches;
+  for (size_t i = 0; i < extra; ++i) {
+    std::string edge = rng->Chance(1, 3) ? "/" : "//";
+    branches.push_back(edge + std::string(kLabels[rng->Uniform(kNumLabels)]) +
+                       "{id}");
+  }
+  // Half the time nest the branches, otherwise fan out.
+  std::string child_text;
+  if (rng->Chance(1, 2) && branches.size() > 1) {
+    std::string nested = branches.back();
+    for (size_t i = branches.size() - 1; i-- > 0;) {
+      nested = branches[i] + "(" + nested + ")";
+    }
+    child_text = nested;
+  } else {
+    for (size_t i = 0; i < branches.size(); ++i) {
+      if (i > 0) child_text += ",";
+      child_text += branches[i];
+    }
+  }
+  dsl += "(" + child_text + ")";
+  auto p = TreePattern::Parse(dsl);
+  XVM_CHECK(p.ok());
+  return std::move(p).value();
+}
+
+/// A random statement over the alphabet.
+UpdateStmt RandomStatement(Rng* rng) {
+  const char* target_label = kLabels[rng->Uniform(kNumLabels)];
+  std::string target = std::string("//") + target_label;
+  if (rng->Chance(1, 3)) {
+    // Narrow the target with an existence predicate.
+    target += std::string("[") + kLabels[rng->Uniform(kNumLabels)] + "]";
+  }
+  if (rng->Chance(2, 5)) return UpdateStmt::Delete(target);
+  // Insert a random forest of depth <= 2.
+  std::string forest;
+  size_t trees = 1 + rng->Uniform(2);
+  for (size_t t = 0; t < trees; ++t) {
+    const char* l1 = kLabels[rng->Uniform(kNumLabels)];
+    forest += std::string("<") + l1 + ">";
+    size_t kids = rng->Uniform(3);
+    for (size_t c = 0; c < kids; ++c) {
+      const char* l2 = kLabels[rng->Uniform(kNumLabels)];
+      forest += std::string("<") + l2 + "/>";
+    }
+    forest += std::string("</") + l1 + ">";
+  }
+  return UpdateStmt::InsertForest(target, forest);
+}
+
+void ExpectStoreConsistent(const Document& doc, const StoreIndex& store) {
+  // Every alive node is in its relation exactly once, in document order.
+  size_t total = 0;
+  for (size_t l = 0; l < doc.dict().size(); ++l) {
+    const auto& rel = store.Relation(static_cast<LabelId>(l));
+    for (size_t i = 0; i < rel.size(); ++i) {
+      ASSERT_TRUE(doc.IsAlive(rel.nodes()[i]));
+      ASSERT_EQ(doc.node(rel.nodes()[i]).label, static_cast<LabelId>(l));
+      if (i > 0) {
+        ASSERT_LT(doc.node(rel.nodes()[i - 1]).id,
+                  doc.node(rel.nodes()[i]).id);
+      }
+    }
+    total += rel.size();
+  }
+  ASSERT_EQ(total, doc.num_alive());
+}
+
+class FuzzStreamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzStreamTest, MaintainedEqualsRecomputedUnderRandomStream) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1299709 + 17);
+  Document doc;
+  RandomDocument(&rng, 150, &doc);
+  StoreIndex store(&doc);
+  store.Build();
+
+  auto def = ViewDefinition::FromPattern("fuzz", RandomPattern(&rng));
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  LatticeStrategy strategy = rng.Chance(1, 2) ? LatticeStrategy::kSnowcaps
+                                              : LatticeStrategy::kLeaves;
+  MaintainedView mv(*def, &store, strategy);
+  mv.Initialize();
+
+  for (int step = 0; step < 12; ++step) {
+    if (doc.root() == kNullNode) break;  // stream deleted the whole tree
+    UpdateStmt stmt = RandomStatement(&rng);
+    // Inserting under //label multiplies matching targets, so an insert-
+    // heavy stream can grow the document geometrically; past a bound, only
+    // deletions keep the differential check fast.
+    while (doc.num_alive() > 1000 &&
+           stmt.kind != UpdateStmt::Kind::kDelete) {
+      stmt = RandomStatement(&rng);
+    }
+    auto out = mv.ApplyAndPropagate(&doc, stmt);
+    ASSERT_TRUE(out.ok()) << out.status().ToString() << " step " << step;
+
+    ExpectStoreConsistent(doc, store);
+
+    // Store-backed ground truth.
+    const TreePattern& pat = mv.def().pattern();
+    auto truth = EvalViewWithCounts(pat, StoreLeafSource(&store, &pat));
+    auto got = mv.view().Snapshot();
+    ASSERT_EQ(got.size(), truth.size())
+        << "step " << step << " pattern " << pat.ToString()
+        << " stmt " << stmt.target_path;
+    for (size_t i = 0; i < truth.size(); ++i) {
+      ASSERT_EQ(got[i].tuple, truth[i].tuple) << "step " << step;
+      ASSERT_EQ(got[i].count, truth[i].count) << "step " << step;
+    }
+
+    // Navigational ground truth (independent evaluator).
+    auto nav = NavigationalViewEval(mv.def(), doc);
+    ASSERT_EQ(nav.size(), truth.size()) << "step " << step;
+    for (size_t i = 0; i < truth.size(); ++i) {
+      ASSERT_EQ(nav[i].tuple, truth[i].tuple) << "step " << step;
+      ASSERT_EQ(nav[i].count, truth[i].count) << "step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzStreamTest, ::testing::Range(1, 25));
+
+/// Serialization survives random mutation streams (parse(serialize(d)) is
+/// structurally identical).
+class FuzzSerializeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSerializeTest, SerializeParseStableUnderMutation) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 3);
+  Document doc;
+  RandomDocument(&rng, 100, &doc);
+  StoreIndex store(&doc);
+  store.Build();
+  for (int step = 0; step < 6; ++step) {
+    if (doc.root() == kNullNode) break;
+    UpdateStmt stmt = RandomStatement(&rng);
+    auto pul = ComputePul(doc, stmt);
+    ASSERT_TRUE(pul.ok());
+    ApplyPul(&doc, *pul, &store);
+    std::string s1 = SerializeDocument(doc);
+    Document reparsed;
+    ASSERT_TRUE(ParseDocument(s1, &reparsed).ok());
+    EXPECT_EQ(SerializeDocument(reparsed), s1);
+    EXPECT_EQ(reparsed.num_alive(), doc.num_alive());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSerializeTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace xvm

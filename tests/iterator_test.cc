@@ -1,0 +1,98 @@
+#include "algebra/iterator.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace xvm {
+namespace {
+
+class IteratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(ParseDocument(
+                    "<r><a>1</a><b/><a>2</a><c><a>3</a></c></r>", &doc_)
+                    .ok());
+    store_ = std::make_unique<StoreIndex>(&doc_);
+    store_->Build();
+  }
+
+  Document doc_;
+  std::unique_ptr<StoreIndex> store_;
+};
+
+TEST_F(IteratorTest, RelationScanStreamsInDocumentOrder) {
+  auto it = MakeRelationScan(store_.get(), doc_.dict().Lookup("a"), "a",
+                             ScanAttrs{true, false});
+  Relation out = Drain(it.get());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.schema.col(0).name, "a.ID");
+  EXPECT_EQ(out.rows[0][1].str(), "1");
+  EXPECT_EQ(out.rows[2][1].str(), "3");
+  EXPECT_TRUE(IsSortedByIdCol(out, 0));
+}
+
+TEST_F(IteratorTest, RelationScanLazyCont) {
+  auto it = MakeRelationScan(store_.get(), doc_.dict().Lookup("c"), "c",
+                             ScanAttrs{false, true});
+  Relation out = Drain(it.get());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.rows[0][1].str(), "<c><a>3</a></c>");
+}
+
+TEST_F(IteratorTest, VectorScanRoundTrips) {
+  Relation rel;
+  rel.schema.Add({"x", ValueKind::kInt});
+  rel.rows = {{Value(int64_t{1})}, {Value(int64_t{2})}};
+  auto it = MakeVectorScan(rel);
+  Relation out = Drain(it.get());
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.rows[1][0].i64(), 2);
+}
+
+TEST_F(IteratorTest, FilterPipelines) {
+  auto scan = MakeRelationScan(store_.get(), doc_.dict().Lookup("a"), "a",
+                               ScanAttrs{true, false});
+  auto filter = MakeFilter(std::move(scan), ColEqualsConst(1, "2"));
+  Relation out = Drain(filter.get());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.rows[0][1].str(), "2");
+}
+
+TEST_F(IteratorTest, ProjectionReorders) {
+  auto scan = MakeRelationScan(store_.get(), doc_.dict().Lookup("a"), "a",
+                               ScanAttrs{true, false});
+  auto proj = MakeProjection(std::move(scan), {1});
+  EXPECT_EQ(proj->schema().size(), 1u);
+  EXPECT_EQ(proj->schema().col(0).name, "a.val");
+  Relation out = Drain(proj.get());
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST_F(IteratorTest, UnionAllConcatenates) {
+  std::vector<TupleIteratorPtr> children;
+  children.push_back(MakeRelationScan(store_.get(), doc_.dict().Lookup("a"),
+                                      "n", ScanAttrs{}));
+  children.push_back(MakeRelationScan(store_.get(), doc_.dict().Lookup("b"),
+                                      "n", ScanAttrs{}));
+  auto u = MakeUnionAll(std::move(children));
+  Relation out = Drain(u.get());
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST_F(IteratorTest, ReopenRestartsStream) {
+  auto it = MakeRelationScan(store_.get(), doc_.dict().Lookup("a"), "a",
+                             ScanAttrs{});
+  Relation first = Drain(it.get());
+  Relation second = Drain(it.get());
+  EXPECT_EQ(first.size(), second.size());
+}
+
+TEST_F(IteratorTest, EmptyRelationStreamsNothing) {
+  auto it = MakeRelationScan(store_.get(), kInvalidLabel, "z", ScanAttrs{});
+  Relation out = Drain(it.get());
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace xvm

@@ -1,0 +1,142 @@
+#include "baseline/ivma.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/compile.h"
+#include "xmark/generator.h"
+#include "xmark/updates.h"
+#include "xmark/views.h"
+#include "xml/parser.h"
+
+namespace xvm {
+namespace {
+
+std::vector<CountedTuple> GroundTruth(const ViewDefinition& def,
+                                      const StoreIndex& store) {
+  const TreePattern& pat = def.pattern();
+  return EvalViewWithCounts(pat, StoreLeafSource(&store, &pat));
+}
+
+void ExpectMatchesGroundTruth(const IvmaView& iv, const StoreIndex& store,
+                              const std::string& ctx) {
+  auto got = iv.view().Snapshot();
+  auto truth = GroundTruth(iv.def(), store);
+  ASSERT_EQ(got.size(), truth.size()) << ctx;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(got[i].tuple, truth[i].tuple) << ctx << " tuple " << i;
+    EXPECT_EQ(got[i].count, truth[i].count) << ctx << " count " << i;
+  }
+}
+
+void RunIvma(const std::string& view_dsl, const std::string& xml,
+         const UpdateStmt& stmt, const std::string& ctx) {
+  Document doc;
+  ASSERT_TRUE(ParseDocument(xml, &doc).ok()) << ctx;
+  StoreIndex store(&doc);
+  store.Build();
+  auto def = ViewDefinition::Create("v", view_dsl);
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  IvmaView iv(std::move(def).value(), &store);
+  iv.Initialize();
+  auto out = iv.ApplyAndPropagate(&doc, stmt);
+  ASSERT_TRUE(out.ok()) << out.status().ToString() << " " << ctx;
+  ExpectMatchesGroundTruth(iv, store, ctx);
+}
+
+TEST(IvmaTest, SingleNodeInsert) {
+  RunIvma("//a{id}(//b{id})", "<r><a><b/></a></r>",
+      UpdateStmt::InsertForest("//a", "<b/>"), "single insert");
+}
+
+TEST(IvmaTest, MultiNodeInsertCountedOnce) {
+  // The inserted tree adds several nodes; embeddings touching two new nodes
+  // must be counted exactly once.
+  RunIvma("//a{id}(//b{id}(//c{id}))", "<r><x/></r>",
+      UpdateStmt::InsertForest("//x", "<a><b><c/></b><b/></a>"),
+      "multi-node insert");
+}
+
+TEST(IvmaTest, InsertJoinsOldAndNew) {
+  RunIvma("//a{id}(//b{id}(//c{id}))", "<r><a><b/></a></r>",
+      UpdateStmt::InsertForest("//a/b", "<c/><c/>"), "old-new join");
+}
+
+TEST(IvmaTest, DeleteSingleNode) {
+  RunIvma("//a{id}(//b{id})", "<r><a><b/><b/></a></r>",
+      UpdateStmt::Delete("//a/b"), "delete nodes");
+}
+
+TEST(IvmaTest, DeleteSubtreeCountedOnce) {
+  RunIvma("//a{id}(//b{id}(//c{id}))",
+      "<r><a><b><c/><c/></b><b><c/></b></a></r>",
+      UpdateStmt::Delete("//a/b"), "delete subtrees");
+}
+
+TEST(IvmaTest, DeleteWithDerivationCounts) {
+  Document doc;
+  ASSERT_TRUE(ParseDocument("<a><c><b/></c><f><b/></f></a>", &doc).ok());
+  StoreIndex store(&doc);
+  store.Build();
+  auto def = ViewDefinition::Create("v", "//a{id}(//b)");
+  ASSERT_TRUE(def.ok());
+  IvmaView iv(std::move(def).value(), &store);
+  iv.Initialize();
+  EXPECT_EQ(iv.view().total_derivations(), 2);
+  auto out = iv.ApplyAndPropagate(&doc, UpdateStmt::Delete("//c/b"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(iv.view().size(), 1u);
+  EXPECT_EQ(iv.view().total_derivations(), 1);
+}
+
+TEST(IvmaTest, ValuePredicates) {
+  RunIvma("//a{id}[val=\"5\"](//b{id})", "<r><a>5<b/></a></r>",
+      UpdateStmt::InsertForest("//r", "<a>5<b/></a><a>7<b/></a>"),
+      "value predicates");
+}
+
+TEST(IvmaTest, StoredContentRefreshed) {
+  RunIvma("//a{id}(//b{id,cont})", "<r><a><b><k/></b></a></r>",
+      UpdateStmt::InsertForest("//b", "<extra>v</extra>"), "PIMT-equivalent");
+}
+
+TEST(IvmaTest, OnePropagationCallPerNode) {
+  Document doc;
+  ASSERT_TRUE(ParseDocument("<r><a/></r>", &doc).ok());
+  StoreIndex store(&doc);
+  store.Build();
+  auto def = ViewDefinition::Create("v", "//a{id}(//b{id})");
+  ASSERT_TRUE(def.ok());
+  IvmaView iv(std::move(def).value(), &store);
+  iv.Initialize();
+  // Inserting a 5-node tree (the paper's Fig. 28 setup: root + 4 children)
+  // triggers exactly 5 node-level calls.
+  auto out = iv.ApplyAndPropagate(
+      &doc, UpdateStmt::InsertForest("//a", "<b><x/><x/><x/><x/></b>"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(iv.propagation_calls(), 5u);
+}
+
+TEST(IvmaTest, AgreesOnXMarkWorkload) {
+  for (const char* update : {"X1_L", "A6_A"}) {
+    for (bool insert : {true, false}) {
+      Document doc;
+      GenerateXMark(XMarkConfig{20 * 1024, 17}, &doc);
+      StoreIndex store(&doc);
+      store.Build();
+      auto def = XMarkView("Q1");
+      ASSERT_TRUE(def.ok());
+      IvmaView iv(std::move(def).value(), &store);
+      iv.Initialize();
+      auto u = FindXMarkUpdate(update);
+      ASSERT_TRUE(u.ok());
+      auto out = iv.ApplyAndPropagate(
+          &doc, insert ? MakeInsertStmt(*u) : MakeDeleteStmt(*u));
+      ASSERT_TRUE(out.ok());
+      ExpectMatchesGroundTruth(
+          iv, store, std::string(update) + (insert ? "/ins" : "/del"));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xvm

@@ -1,0 +1,149 @@
+#include "ids/ordkey.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace xvm {
+namespace {
+
+TEST(OrdKeyTest, FirstAfterChainIsIncreasing) {
+  OrdKey k = OrdKey::First();
+  for (int i = 0; i < 100; ++i) {
+    OrdKey next = OrdKey::After(k);
+    EXPECT_LT(k, next);
+    k = next;
+  }
+  // Appends do not grow key length.
+  EXPECT_EQ(k.size(), 1u);
+}
+
+TEST(OrdKeyTest, BeforeFirst) {
+  OrdKey first = OrdKey::First();
+  OrdKey before = OrdKey::Before(first);
+  EXPECT_LT(before, first);
+}
+
+TEST(OrdKeyTest, BetweenAdjacentHeads) {
+  OrdKey a({0});
+  OrdKey b({1});
+  OrdKey mid = OrdKey::Between(a, b);
+  EXPECT_LT(a, mid);
+  EXPECT_LT(mid, b);
+}
+
+TEST(OrdKeyTest, BetweenWithGap) {
+  OrdKey a({0});
+  OrdKey b({10});
+  OrdKey mid = OrdKey::Between(a, b);
+  EXPECT_LT(a, mid);
+  EXPECT_LT(mid, b);
+  EXPECT_EQ(mid.size(), 1u);  // gap allows a single-component key
+}
+
+TEST(OrdKeyTest, BetweenPrefixAndExtension) {
+  OrdKey a({3});
+  OrdKey b({3, 5});
+  OrdKey mid = OrdKey::Between(a, b);
+  EXPECT_LT(a, mid);
+  EXPECT_LT(mid, b);
+}
+
+TEST(OrdKeyTest, BetweenPrefixAndDeepExtension) {
+  OrdKey a({3});
+  OrdKey b({3, 5, 7});
+  OrdKey mid = OrdKey::Between(a, b);
+  EXPECT_LT(a, mid);
+  EXPECT_LT(mid, b);
+}
+
+TEST(OrdKeyTest, PrefixSortsBeforeExtension) {
+  OrdKey a({1});
+  OrdKey b({1, -5});
+  EXPECT_LT(a, b);
+  OrdKey c({1, 0});
+  EXPECT_LT(a, c);
+}
+
+TEST(OrdKeyTest, EncodeDecodeRoundTrip) {
+  std::vector<OrdKey> keys = {
+      OrdKey({0}), OrdKey({-1, 5}), OrdKey({1'000'000'000'000LL, -3, 0}),
+      OrdKey::First()};
+  for (const auto& k : keys) {
+    std::string buf;
+    k.EncodeTo(&buf);
+    size_t pos = 0;
+    OrdKey decoded;
+    ASSERT_TRUE(OrdKey::DecodeFrom(buf, &pos, &decoded));
+    EXPECT_EQ(pos, buf.size());
+    EXPECT_EQ(decoded, k);
+  }
+}
+
+TEST(OrdKeyTest, DecodeRejectsTruncated) {
+  OrdKey k({123456789, -987654321});
+  std::string buf;
+  k.EncodeTo(&buf);
+  for (size_t cut = 0; cut + 1 < buf.size(); ++cut) {
+    size_t pos = 0;
+    OrdKey decoded;
+    EXPECT_FALSE(OrdKey::DecodeFrom(buf.substr(0, cut), &pos, &decoded))
+        << "cut=" << cut;
+  }
+}
+
+// Property: repeatedly inserting between random adjacent pairs keeps a
+// strictly ordered sequence and never requires relabeling existing keys.
+TEST(OrdKeyPropertyTest, RandomizedBetweenPreservesStrictOrder) {
+  Rng rng(42);
+  std::vector<OrdKey> keys = {OrdKey::First(), OrdKey::After(OrdKey::First())};
+  for (int iter = 0; iter < 2000; ++iter) {
+    size_t i = rng.Uniform(keys.size() + 1);
+    OrdKey fresh;
+    if (i == 0) {
+      fresh = OrdKey::Before(keys.front());
+    } else if (i == keys.size()) {
+      fresh = OrdKey::After(keys.back());
+    } else {
+      fresh = OrdKey::Between(keys[i - 1], keys[i]);
+    }
+    keys.insert(keys.begin() + static_cast<ptrdiff_t>(i), fresh);
+    if (iter % 100 == 0) {
+      for (size_t j = 1; j < keys.size(); ++j) {
+        ASSERT_LT(keys[j - 1], keys[j]) << "at " << j << " iter " << iter;
+      }
+    }
+  }
+  for (size_t j = 1; j < keys.size(); ++j) {
+    ASSERT_LT(keys[j - 1], keys[j]);
+  }
+  // All keys distinct.
+  std::set<OrdKey> uniq(keys.begin(), keys.end());
+  EXPECT_EQ(uniq.size(), keys.size());
+}
+
+// Property: deep left-edge insertion (always between first two) stays
+// correct even as keys grow.
+TEST(OrdKeyPropertyTest, PathologicalLeftInsertion) {
+  OrdKey lo = OrdKey::First();
+  OrdKey hi = OrdKey::After(lo);
+  OrdKey prev_hi = hi;
+  for (int i = 0; i < 500; ++i) {
+    OrdKey mid = OrdKey::Between(lo, prev_hi);
+    ASSERT_LT(lo, mid);
+    ASSERT_LT(mid, prev_hi);
+    prev_hi = mid;
+  }
+}
+
+TEST(OrdKeyTest, ToStringFormat) {
+  EXPECT_EQ(OrdKey({3}).ToString(), "3");
+  EXPECT_EQ(OrdKey({3, 0, -1}).ToString(), "3.0.-1");
+}
+
+}  // namespace
+}  // namespace xvm

@@ -1,0 +1,151 @@
+#include "view/persist.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "pattern/compile.h"
+#include "xmark/generator.h"
+#include "xmark/updates.h"
+#include "xmark/views.h"
+
+namespace xvm {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<Document> doc;
+  std::unique_ptr<StoreIndex> store;
+  std::unique_ptr<MaintainedView> view;
+};
+
+Fixture Make(const std::string& view_name, LatticeStrategy strategy,
+             uint64_t seed = 19) {
+  Fixture f;
+  f.doc = std::make_unique<Document>();
+  GenerateXMark(XMarkConfig{30 * 1024, seed}, f.doc.get());
+  f.store = std::make_unique<StoreIndex>(f.doc.get());
+  f.store->Build();
+  auto def = XMarkView(view_name);
+  XVM_CHECK(def.ok());
+  f.view = std::make_unique<MaintainedView>(std::move(def).value(),
+                                            f.store.get(), strategy);
+  return f;
+}
+
+void ExpectSameContent(const MaintainedView& a, const MaintainedView& b) {
+  auto sa = a.view().Snapshot();
+  auto sb = b.view().Snapshot();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].tuple, sb[i].tuple);
+    EXPECT_EQ(sa[i].count, sb[i].count);
+  }
+  ASSERT_EQ(a.lattice().snowcaps().size(), b.lattice().snowcaps().size());
+  EXPECT_EQ(a.lattice().TotalTuples(), b.lattice().TotalTuples());
+}
+
+TEST(PersistTest, RoundTripBytes) {
+  Fixture src = Make("Q1", LatticeStrategy::kSnowcaps);
+  src.view->Initialize();
+  std::string bytes = SaveViewToBytes(*src.view);
+  EXPECT_GT(bytes.size(), 16u);
+
+  Fixture dst = Make("Q1", LatticeStrategy::kSnowcaps);
+  // No Initialize(): the load replaces it.
+  ASSERT_TRUE(LoadViewFromBytes(bytes, dst.view.get()).ok());
+  ExpectSameContent(*src.view, *dst.view);
+}
+
+TEST(PersistTest, LoadedViewKeepsMaintaining) {
+  Fixture src = Make("Q2", LatticeStrategy::kSnowcaps);
+  src.view->Initialize();
+  std::string bytes = SaveViewToBytes(*src.view);
+
+  Fixture dst = Make("Q2", LatticeStrategy::kSnowcaps);
+  ASSERT_TRUE(LoadViewFromBytes(bytes, dst.view.get()).ok());
+
+  auto u = FindXMarkUpdate("X2_L");
+  ASSERT_TRUE(u.ok());
+  auto out = dst.view->ApplyAndPropagate(dst.doc.get(), MakeInsertStmt(*u));
+  ASSERT_TRUE(out.ok());
+
+  const TreePattern& pat = dst.view->def().pattern();
+  auto truth = EvalViewWithCounts(pat, StoreLeafSource(dst.store.get(), &pat));
+  auto got = dst.view->view().Snapshot();
+  ASSERT_EQ(got.size(), truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(got[i].tuple, truth[i].tuple);
+    EXPECT_EQ(got[i].count, truth[i].count);
+  }
+}
+
+TEST(PersistTest, RoundTripFile) {
+  Fixture src = Make("Q13", LatticeStrategy::kSnowcaps);
+  src.view->Initialize();
+  const std::string path = ::testing::TempDir() + "/xvm_view_q13.bin";
+  ASSERT_TRUE(SaveViewToFile(*src.view, path).ok());
+
+  Fixture dst = Make("Q13", LatticeStrategy::kSnowcaps);
+  ASSERT_TRUE(LoadViewFromFile(path, dst.view.get()).ok());
+  ExpectSameContent(*src.view, *dst.view);
+  std::remove(path.c_str());
+}
+
+TEST(PersistTest, RejectsWrongView) {
+  Fixture src = Make("Q1", LatticeStrategy::kSnowcaps);
+  src.view->Initialize();
+  std::string bytes = SaveViewToBytes(*src.view);
+
+  Fixture dst = Make("Q17", LatticeStrategy::kSnowcaps);
+  Status st = LoadViewFromBytes(bytes, dst.view.get());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PersistTest, RejectsLatticeShapeMismatch) {
+  Fixture src = Make("Q1", LatticeStrategy::kSnowcaps);
+  src.view->Initialize();
+  std::string bytes = SaveViewToBytes(*src.view);
+
+  Fixture dst = Make("Q1", LatticeStrategy::kLeaves);
+  EXPECT_FALSE(LoadViewFromBytes(bytes, dst.view.get()).ok());
+}
+
+TEST(PersistTest, RejectsCorruptedBytes) {
+  Fixture src = Make("Q1", LatticeStrategy::kSnowcaps);
+  src.view->Initialize();
+  std::string bytes = SaveViewToBytes(*src.view);
+
+  Fixture dst = Make("Q1", LatticeStrategy::kSnowcaps);
+  EXPECT_FALSE(LoadViewFromBytes("garbage", dst.view.get()).ok());
+  EXPECT_FALSE(
+      LoadViewFromBytes(bytes.substr(0, bytes.size() / 2), dst.view.get())
+          .ok());
+  std::string trailing = bytes + "x";
+  EXPECT_FALSE(LoadViewFromBytes(trailing, dst.view.get()).ok());
+}
+
+TEST(PersistTest, MissingFileReportsNotFound) {
+  Fixture dst = Make("Q1", LatticeStrategy::kSnowcaps);
+  Status st = LoadViewFromFile("/nonexistent/path/view.bin", dst.view.get());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST(ValueDecodeTest, RoundTripsAllKinds) {
+  std::vector<Value> values = {
+      Value(), Value(DeweyId::Root(7).Child(3, OrdKey({2, -1}))),
+      Value(std::string("hello \x01 world")), Value(int64_t{-123456789})};
+  std::string buf;
+  for (const auto& v : values) v.EncodeTo(&buf);
+  size_t pos = 0;
+  for (const auto& expected : values) {
+    Value got;
+    ASSERT_TRUE(Value::DecodeFrom(buf, &pos, &got));
+    EXPECT_EQ(got, expected);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+}  // namespace
+}  // namespace xvm

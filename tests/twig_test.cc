@@ -1,0 +1,206 @@
+#include "pattern/twig.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "xmark/generator.h"
+#include "xmark/views.h"
+#include "xml/parser.h"
+
+namespace xvm {
+namespace {
+
+std::multiset<std::string> RowSet(const Relation& r) {
+  std::multiset<std::string> out;
+  for (const auto& row : r.rows) out.insert(EncodeTuple(row));
+  return out;
+}
+
+class TwigTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& xml) {
+    doc_ = std::make_unique<Document>();
+    ASSERT_TRUE(ParseDocument(xml, doc_.get()).ok());
+    store_ = std::make_unique<StoreIndex>(doc_.get());
+    store_->Build();
+  }
+
+  void ExpectAgree(const std::string& dsl,
+                   const std::vector<bool>* subset = nullptr) {
+    auto p = TreePattern::Parse(dsl);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    TreePattern pat = std::move(p).value();
+    LeafSource src = StoreLeafSource(store_.get(), &pat);
+    Relation joins = EvalTreePattern(pat, src, subset);
+    Relation twig = EvalTreePatternTwig(pat, src, subset);
+    EXPECT_EQ(twig.schema.ToString(), joins.schema.ToString()) << dsl;
+    EXPECT_EQ(RowSet(twig), RowSet(joins)) << dsl;
+  }
+
+  std::unique_ptr<Document> doc_;
+  std::unique_ptr<StoreIndex> store_;
+};
+
+TEST_F(TwigTest, LinearChain) {
+  Load("<r><a><b><c/></b></a><a><b/></a><c/></r>");
+  ExpectAgree("//a{id}(//b{id}(//c{id}))");
+}
+
+TEST_F(TwigTest, NestedSameLabels) {
+  Load("<r><b><d><b/><d><b/></d></d></b><b/></r>");
+  ExpectAgree("//b{id}(//d{id}(//b{id}))");
+}
+
+TEST_F(TwigTest, ChildAxisEdges) {
+  Load("<a><b><c/></b><c/><x><c/></x></a>");
+  ExpectAgree("//a{id}(/c{id})");
+  ExpectAgree("//a{id}(/b{id}(/c{id}))");
+}
+
+TEST_F(TwigTest, Branching) {
+  Load("<r><a><b/><c/></a><a><b/></a><a><c/><b><c/></b></a></r>");
+  ExpectAgree("//a{id}(//b{id},//c{id})");
+}
+
+TEST_F(TwigTest, Figure6Shape) {
+  Load("<r><a><b><c/></b><d/></a><a><d/></a><a><b><c/><c/></b><d/><d/></a>"
+       "</r>");
+  ExpectAgree("//a{id}(//b{id}(//c{id}),//d{id})");
+}
+
+TEST_F(TwigTest, ValuePredicatesAndAnnotations) {
+  Load("<r><a>5<b>x</b></a><a>7<b>y</b></a><a>5</a></r>");
+  ExpectAgree("//a{id}[val=\"5\"](//b{id,val})");
+  ExpectAgree("//a{id,val,cont}(//b{id})");
+}
+
+TEST_F(TwigTest, RootAnchored) {
+  Load("<a><a><b/></a><b/></a>");
+  ExpectAgree("/a{id}(//b{id})");
+}
+
+TEST_F(TwigTest, SnowcapSubset) {
+  Load("<r><a><b><c/></b></a></r>");
+  auto p = TreePattern::Parse("//a{id}(//b{id}(//c{id}))");
+  ASSERT_TRUE(p.ok());
+  std::vector<bool> ab = {true, true, false};
+  ExpectAgree("//a{id}(//b{id}(//c{id}))", &ab);
+}
+
+TEST_F(TwigTest, EmptyStreams) {
+  Load("<r><a/></r>");
+  ExpectAgree("//a{id}(//zzz{id})");
+  ExpectAgree("//zzz{id}(//a{id})");
+}
+
+TEST(PathStackJoinTest, DirectChain) {
+  // Hand-built streams: a1 with children b1, b2; b1 with child c1.
+  auto id = [](std::initializer_list<int> ords, LabelId label) {
+    std::vector<DeweyStep> steps;
+    int i = 0;
+    for (int o : ords) {
+      steps.push_back(DeweyStep{static_cast<LabelId>(label * 10 + i++),
+                                OrdKey({o})});
+    }
+    steps.back().label = label;
+    return DeweyId(std::move(steps));
+  };
+  Relation a, b, c;
+  a.schema.Add({"a.ID", ValueKind::kId});
+  b.schema.Add({"b.ID", ValueKind::kId});
+  c.schema.Add({"c.ID", ValueKind::kId});
+  DeweyId a1 = DeweyId::Root(1);
+  DeweyId b1 = a1.Child(2, OrdKey({0}));
+  DeweyId b2 = a1.Child(2, OrdKey({1}));
+  DeweyId c1 = b1.Child(3, OrdKey({0}));
+  (void)id;
+  a.rows = {{Value(a1)}};
+  b.rows = {{Value(b1)}, {Value(b2)}};
+  c.rows = {{Value(c1)}};
+  Relation out = PathStackJoin({a, b, c}, {Axis::kDescendant,
+                                           Axis::kDescendant,
+                                           Axis::kDescendant});
+  ASSERT_EQ(out.size(), 1u);  // only a1-b1-c1
+  EXPECT_EQ(out.rows[0][1].id(), b1);
+
+  // Child axis between b and c also holds; between a and c it would not.
+  Relation out2 =
+      PathStackJoin({a, b, c},
+                    {Axis::kDescendant, Axis::kChild, Axis::kChild});
+  EXPECT_EQ(out2.size(), 1u);
+}
+
+TEST(PathStackJoinTest, NestedAncestorsAllCombinations) {
+  // a1 contains a2 contains b1: //a//b must yield two rows.
+  Relation a, b;
+  a.schema.Add({"a.ID", ValueKind::kId});
+  b.schema.Add({"b.ID", ValueKind::kId});
+  DeweyId a1 = DeweyId::Root(1);
+  DeweyId a2 = a1.Child(1, OrdKey({0}));
+  DeweyId b1 = a2.Child(2, OrdKey({0}));
+  a.rows = {{Value(a1)}, {Value(a2)}};
+  b.rows = {{Value(b1)}};
+  Relation out =
+      PathStackJoin({a, b}, {Axis::kDescendant, Axis::kDescendant});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+/// Differential property test: random documents, a battery of patterns,
+/// twig vs per-edge joins must agree exactly.
+class TwigPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TwigPropertyTest, AgreesOnRandomDocuments) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 977);
+  Document doc;
+  NodeHandle root = doc.CreateRoot("r");
+  std::vector<NodeHandle> nodes = {root};
+  const char* labels[] = {"a", "b", "c", "d"};
+  for (int i = 0; i < 120; ++i) {
+    NodeHandle parent = nodes[rng.Uniform(nodes.size())];
+    nodes.push_back(doc.AppendElement(parent, labels[rng.Uniform(4)]));
+  }
+  StoreIndex store(&doc);
+  store.Build();
+
+  const char* patterns[] = {
+      "//a{id}(//b{id})",
+      "//a{id}(/b{id})",
+      "//a{id}(//b{id}(//c{id}))",
+      "//a{id}(//b{id},//c{id})",
+      "//a{id}(//b{id}(//d{id}),//c{id})",
+      "//b{id}(//b{id})",
+      "//a{id}(//b{id}(//c{id},//d{id}),//d{id})",
+  };
+  for (const char* dsl : patterns) {
+    auto p = TreePattern::Parse(dsl);
+    ASSERT_TRUE(p.ok());
+    TreePattern pat = std::move(p).value();
+    LeafSource src = StoreLeafSource(&store, &pat);
+    Relation joins = EvalTreePattern(pat, src, nullptr);
+    Relation twig = EvalTreePatternTwig(pat, src, nullptr);
+    std::multiset<std::string> sj = RowSet(joins), st = RowSet(twig);
+    ASSERT_EQ(st, sj) << dsl << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwigPropertyTest,
+                         ::testing::Range(1, 11));
+
+TEST(TwigXMarkTest, AgreesOnAllXMarkViews) {
+  Document doc;
+  GenerateXMark(XMarkConfig{50 * 1024, 13}, &doc);
+  StoreIndex store(&doc);
+  store.Build();
+  for (const auto& name : XMarkViewNames()) {
+    auto def = XMarkView(name);
+    ASSERT_TRUE(def.ok());
+    const TreePattern& pat = def->pattern();
+    LeafSource src = StoreLeafSource(&store, &pat);
+    Relation joins = EvalTreePattern(pat, src, nullptr);
+    Relation twig = EvalTreePatternTwig(pat, src, nullptr);
+    EXPECT_EQ(RowSet(twig), RowSet(joins)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace xvm

@@ -1,0 +1,110 @@
+#include "view/view_store.h"
+
+#include <gtest/gtest.h>
+
+namespace xvm {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({{"a.ID", ValueKind::kId}, {"a.val", ValueKind::kString}});
+}
+
+Tuple MakeTuple(int64_t ord, const std::string& val) {
+  return {Value(DeweyId::Root(0).Child(1, OrdKey({ord}))), Value(val)};
+}
+
+TEST(MaterializedViewTest, AddAndCount) {
+  MaterializedView v(TwoColSchema());
+  v.AddDerivations(MakeTuple(0, "x"), 1);
+  v.AddDerivations(MakeTuple(0, "x"), 2);
+  v.AddDerivations(MakeTuple(1, "y"), 1);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.total_derivations(), 4);
+  EXPECT_EQ(v.CountOf(MakeTuple(0, "x")), 3);
+  EXPECT_EQ(v.CountOf(MakeTuple(2, "z")), 0);
+}
+
+TEST(MaterializedViewTest, RemoveByIdKeyDecrementsAndErases) {
+  MaterializedView v(TwoColSchema());
+  Tuple t = MakeTuple(0, "x");
+  v.AddDerivations(t, 2);
+  std::string key = v.IdKeyOf(t);
+  EXPECT_TRUE(v.RemoveDerivationsByIdKey(key, 1));
+  EXPECT_EQ(v.CountOf(t), 1);
+  EXPECT_TRUE(v.RemoveDerivationsByIdKey(key, 1));
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.total_derivations(), 0);
+}
+
+TEST(MaterializedViewTest, RemoveMissingIsIgnored) {
+  MaterializedView v(TwoColSchema());
+  EXPECT_TRUE(v.RemoveDerivationsByIdKey("nope", 1));
+}
+
+TEST(MaterializedViewTest, OverRemovalClampsAndReports) {
+  MaterializedView v(TwoColSchema());
+  Tuple t = MakeTuple(0, "x");
+  v.AddDerivations(t, 1);
+  EXPECT_FALSE(v.RemoveDerivationsByIdKey(v.IdKeyOf(t), 5));
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.total_derivations(), 0);
+}
+
+TEST(MaterializedViewTest, IdKeyIgnoresPayloadColumns) {
+  MaterializedView v(TwoColSchema());
+  EXPECT_EQ(v.IdKeyOf(MakeTuple(0, "x")), v.IdKeyOf(MakeTuple(0, "y")));
+  EXPECT_NE(v.IdKeyOf(MakeTuple(0, "x")), v.IdKeyOf(MakeTuple(1, "x")));
+}
+
+TEST(MaterializedViewTest, FindByIdKey) {
+  MaterializedView v(TwoColSchema());
+  Tuple t = MakeTuple(3, "payload");
+  v.AddDerivations(t, 1);
+  const Tuple* found = v.FindByIdKey(v.IdKeyOf(t));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ((*found)[1].str(), "payload");
+  EXPECT_EQ(v.FindByIdKey("absent"), nullptr);
+}
+
+TEST(MaterializedViewTest, ModifyTuplesRewritesPayload) {
+  MaterializedView v(TwoColSchema());
+  v.AddDerivations(MakeTuple(0, "old"), 2);
+  v.AddDerivations(MakeTuple(1, "keep"), 1);
+  size_t modified = v.ModifyTuples([](Tuple* t) {
+    if ((*t)[1].str() == "old") {
+      (*t)[1] = Value(std::string("new"));
+      return true;
+    }
+    return false;
+  });
+  EXPECT_EQ(modified, 1u);
+  EXPECT_EQ(v.CountOf(MakeTuple(0, "new")), 2);
+  EXPECT_EQ(v.CountOf(MakeTuple(0, "old")), 0);
+}
+
+TEST(MaterializedViewTest, SnapshotSortedAndResetRoundTrip) {
+  MaterializedView v(TwoColSchema());
+  v.AddDerivations(MakeTuple(2, "c"), 1);
+  v.AddDerivations(MakeTuple(0, "a"), 3);
+  v.AddDerivations(MakeTuple(1, "b"), 2);
+  auto snap = v.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_LT(snap[0].tuple, snap[1].tuple);
+  EXPECT_LT(snap[1].tuple, snap[2].tuple);
+
+  MaterializedView v2(TwoColSchema());
+  v2.Reset(snap);
+  EXPECT_EQ(v2.Snapshot().size(), 3u);
+  EXPECT_EQ(v2.total_derivations(), 6);
+}
+
+TEST(MaterializedViewTest, ClearEmpties) {
+  MaterializedView v(TwoColSchema());
+  v.AddDerivations(MakeTuple(0, "x"), 1);
+  v.Clear();
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.total_derivations(), 0);
+}
+
+}  // namespace
+}  // namespace xvm

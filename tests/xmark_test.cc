@@ -1,0 +1,120 @@
+#include "xmark/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "xmark/updates.h"
+#include "xmark/views.h"
+#include "xpath/xpath_eval.h"
+
+namespace xvm {
+namespace {
+
+TEST(XMarkGeneratorTest, Deterministic) {
+  Document a, b;
+  GenerateXMark(XMarkConfig{50 * 1024, 9}, &a);
+  GenerateXMark(XMarkConfig{50 * 1024, 9}, &b);
+  EXPECT_EQ(a.num_alive(), b.num_alive());
+  EXPECT_EQ(a.ApproxSerializedBytes(), b.ApproxSerializedBytes());
+}
+
+TEST(XMarkGeneratorTest, SizeScalesWithTarget) {
+  Document small, large;
+  GenerateXMark(XMarkConfig{20 * 1024, 9}, &small);
+  GenerateXMark(XMarkConfig{200 * 1024, 9}, &large);
+  EXPECT_GT(large.num_alive(), small.num_alive() * 5);
+  // Approximate size within a factor of 2 of the target.
+  EXPECT_GT(large.ApproxSerializedBytes(), 100 * 1024u);
+  EXPECT_LT(large.ApproxSerializedBytes(), 400 * 1024u);
+}
+
+TEST(XMarkGeneratorTest, HasExpectedShape) {
+  Document doc;
+  GenerateXMark(XMarkConfig{60 * 1024, 4}, &doc);
+  auto count = [&](const std::string& p) {
+    auto r = EvalXPathString(doc, p);
+    EXPECT_TRUE(r.ok()) << p;
+    return r->size();
+  };
+  EXPECT_EQ(count("/site"), 1u);
+  EXPECT_EQ(count("/site/regions/*"), 6u);
+  EXPECT_GT(count("/site/people/person"), 10u);
+  EXPECT_GT(count("/site/people/person/@id"), 10u);
+  EXPECT_GT(count("/site/open_auctions/open_auction"), 3u);
+  EXPECT_GT(count("/site/regions//item"), 5u);
+  EXPECT_GT(count("//bidder/increase"), 0u);
+  EXPECT_GT(count("//closed_auctions/closed_auction"), 0u);
+  EXPECT_GT(count("//person[profile/@income]"), 0u);
+  EXPECT_GT(count("//person[phone or homepage]"), 0u);
+  // Q3's predicate value occurs.
+  EXPECT_GT(count("//increase[.=\"4.50\"]"), 0u);
+}
+
+TEST(XMarkViewsTest, AllViewsParseAndEvaluate) {
+  Document doc;
+  GenerateXMark(XMarkConfig{60 * 1024, 4}, &doc);
+  StoreIndex store(&doc);
+  store.Build();
+  for (const auto& name : XMarkViewNames()) {
+    auto def = XMarkView(name);
+    ASSERT_TRUE(def.ok()) << name << ": " << def.status().ToString();
+    const TreePattern& pat = def->pattern();
+    auto result = EvalViewWithCounts(pat, StoreLeafSource(&store, &pat));
+    EXPECT_FALSE(result.empty()) << name << " evaluated empty";
+  }
+}
+
+TEST(XMarkViewsTest, UnknownViewRejected) {
+  EXPECT_FALSE(XMarkView("Q99").ok());
+}
+
+TEST(XMarkViewsTest, Q1VariantsDifferInAnnotations) {
+  for (const auto& variant : XMarkQ1VariantNames()) {
+    auto def = XMarkQ1Variant(variant);
+    ASSERT_TRUE(def.ok()) << variant;
+  }
+  auto ids = XMarkQ1Variant("IDs");
+  auto all = XMarkQ1Variant("VC_All");
+  ASSERT_TRUE(ids.ok() && all.ok());
+  EXPECT_LT(ids->tuple_schema().size(), all->tuple_schema().size());
+  EXPECT_TRUE(ids->cvn().empty());
+  EXPECT_EQ(all->cvn().size(), 4u);  // all element nodes (not @id)
+}
+
+TEST(XMarkUpdatesTest, AllTargetsParseAndMostMatch) {
+  Document doc;
+  GenerateXMark(XMarkConfig{80 * 1024, 21}, &doc);
+  size_t matched = 0;
+  for (const auto& u : XMarkUpdates()) {
+    auto r = EvalXPathString(doc, u.target);
+    ASSERT_TRUE(r.ok()) << u.name << ": " << r.status().ToString();
+    if (!r->empty()) ++matched;
+  }
+  // Every update class must be exercised by the generated data.
+  EXPECT_GE(matched, XMarkUpdates().size() - 2) << "too many empty targets";
+}
+
+TEST(XMarkUpdatesTest, InsertAndDeleteStatementsWork) {
+  Document doc;
+  GenerateXMark(XMarkConfig{30 * 1024, 2}, &doc);
+  auto u = FindXMarkUpdate("A6_A");
+  ASSERT_TRUE(u.ok());
+  UpdateStmt ins = MakeInsertStmt(*u);
+  auto pul = ComputePul(doc, ins);
+  ASSERT_TRUE(pul.ok());
+  EXPECT_FALSE(pul->inserts.empty());
+  UpdateStmt del = MakeDeleteStmt(*u);
+  auto pul2 = ComputePul(doc, del);
+  ASSERT_TRUE(pul2.ok());
+  EXPECT_FALSE(pul2->deletes.empty());
+}
+
+TEST(XMarkUpdatesTest, PairsReferenceKnownNames) {
+  for (const auto& [view, update] : XMarkViewUpdatePairs()) {
+    EXPECT_TRUE(XMarkView(view).ok()) << view;
+    EXPECT_TRUE(FindXMarkUpdate(update).ok()) << update;
+  }
+  EXPECT_EQ(XMarkViewUpdatePairs().size(), 35u);  // 7 views x 5 updates
+}
+
+}  // namespace
+}  // namespace xvm

@@ -1,0 +1,228 @@
+#include "xml/document.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xvm {
+namespace {
+
+TEST(DocumentTest, BuildAndNavigate) {
+  Document doc;
+  NodeHandle root = doc.CreateRoot("a");
+  NodeHandle b = doc.AppendElement(root, "b");
+  NodeHandle c = doc.AppendElement(root, "c");
+  doc.AppendText(b, "hello");
+  EXPECT_EQ(doc.root(), root);
+  EXPECT_EQ(doc.node(b).parent, root);
+  EXPECT_EQ(doc.node(root).first_child, b);
+  EXPECT_EQ(doc.node(b).next_sibling, c);
+  EXPECT_EQ(doc.num_alive(), 4u);
+}
+
+TEST(DocumentTest, IdsReflectStructure) {
+  Document doc;
+  NodeHandle root = doc.CreateRoot("a");
+  NodeHandle b = doc.AppendElement(root, "b");
+  NodeHandle c = doc.AppendElement(b, "c");
+  EXPECT_TRUE(doc.node(root).id.IsParentOf(doc.node(b).id));
+  EXPECT_TRUE(doc.node(root).id.IsAncestorOf(doc.node(c).id));
+  EXPECT_TRUE(doc.node(b).id.IsParentOf(doc.node(c).id));
+}
+
+TEST(DocumentTest, FindById) {
+  Document doc;
+  NodeHandle root = doc.CreateRoot("a");
+  NodeHandle b = doc.AppendElement(root, "b");
+  EXPECT_EQ(doc.FindById(doc.node(b).id), b);
+  DeweyId fake = doc.node(b).id.Child(42, OrdKey::First());
+  EXPECT_EQ(doc.FindById(fake), kNullNode);
+}
+
+TEST(DocumentTest, StringValueConcatenatesTextDescendants) {
+  Document doc;
+  NodeHandle root = doc.CreateRoot("a");
+  doc.AppendText(root, "x");
+  NodeHandle b = doc.AppendElement(root, "b");
+  doc.AppendText(b, "y");
+  doc.AppendAttribute(root, "attr", "not-included");
+  doc.AppendText(root, "z");
+  EXPECT_EQ(doc.StringValue(root), "xyz");
+  EXPECT_EQ(doc.StringValue(b), "y");
+}
+
+TEST(DocumentTest, InsertSiblingKeepsOrderWithoutRelabeling) {
+  Document doc;
+  NodeHandle root = doc.CreateRoot("a");
+  NodeHandle b1 = doc.AppendElement(root, "b");
+  NodeHandle b3 = doc.AppendElement(root, "b");
+  DeweyId id1 = doc.node(b1).id;
+  DeweyId id3 = doc.node(b3).id;
+  NodeHandle b2 = doc.InsertElementAfter(b1, "b");
+  // Existing IDs unchanged; the new ID is strictly between them.
+  EXPECT_EQ(doc.node(b1).id, id1);
+  EXPECT_EQ(doc.node(b3).id, id3);
+  EXPECT_LT(id1, doc.node(b2).id);
+  EXPECT_LT(doc.node(b2).id, id3);
+  // Sibling links consistent.
+  EXPECT_EQ(doc.node(b1).next_sibling, b2);
+  EXPECT_EQ(doc.node(b2).next_sibling, b3);
+}
+
+TEST(DocumentTest, InsertBeforeFirstChild) {
+  Document doc;
+  NodeHandle root = doc.CreateRoot("a");
+  NodeHandle b = doc.AppendElement(root, "b");
+  NodeHandle x = doc.InsertElementBefore(b, "x");
+  EXPECT_EQ(doc.node(root).first_child, x);
+  EXPECT_LT(doc.node(x).id, doc.node(b).id);
+}
+
+TEST(DocumentTest, DeleteSubtreeRemovesWholeSubtree) {
+  Document doc;
+  NodeHandle root = doc.CreateRoot("a");
+  NodeHandle b = doc.AppendElement(root, "b");
+  NodeHandle c = doc.AppendElement(b, "c");
+  NodeHandle d = doc.AppendElement(root, "d");
+  auto removed = doc.DeleteSubtree(b);
+  EXPECT_EQ(removed.size(), 2u);
+  EXPECT_FALSE(doc.IsAlive(b));
+  EXPECT_FALSE(doc.IsAlive(c));
+  EXPECT_TRUE(doc.IsAlive(d));
+  EXPECT_EQ(doc.node(root).first_child, d);
+  EXPECT_EQ(doc.FindById(removed.empty() ? DeweyId() : doc.node(b).id),
+            kNullNode);
+  EXPECT_EQ(doc.num_alive(), 2u);
+}
+
+TEST(DocumentTest, CopySubtreeAssignsFreshIds) {
+  Document src;
+  NodeHandle sroot = src.CreateRoot("t");
+  NodeHandle sb = src.AppendElement(sroot, "b");
+  src.AppendText(sb, "payload");
+
+  Document dst;
+  NodeHandle droot = dst.CreateRoot("a");
+  NodeHandle copy = dst.CopySubtreeAsChild(droot, src, sroot);
+  EXPECT_EQ(dst.dict().Name(dst.node(copy).label), "t");
+  EXPECT_TRUE(dst.node(droot).id.IsParentOf(dst.node(copy).id));
+  EXPECT_EQ(dst.StringValue(copy), "payload");
+  // Source untouched.
+  EXPECT_EQ(src.num_alive(), 3u);
+}
+
+TEST(DocumentTest, SubtreeNodesInDocumentOrder) {
+  Document doc;
+  ASSERT_TRUE(ParseDocument("<a><b><c/></b><d/></a>", &doc).ok());
+  auto nodes = doc.SubtreeNodes(doc.root());
+  ASSERT_EQ(nodes.size(), 4u);
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LT(doc.node(nodes[i - 1]).id, doc.node(nodes[i]).id);
+  }
+}
+
+TEST(ParserTest, ParsesElementsAttributesText) {
+  Document doc;
+  ASSERT_TRUE(
+      ParseDocument("<a x=\"1\" y='2'><b>hi</b><c/></a>", &doc).ok());
+  NodeHandle root = doc.root();
+  EXPECT_EQ(doc.dict().Name(doc.node(root).label), "a");
+  auto children = doc.Children(root);
+  ASSERT_EQ(children.size(), 4u);  // @x, @y, b, c
+  EXPECT_EQ(doc.node(children[0]).kind, NodeKind::kAttribute);
+  EXPECT_EQ(doc.node(children[0]).text, "1");
+  EXPECT_EQ(doc.StringValue(children[2]), "hi");
+}
+
+TEST(ParserTest, DecodesEntities) {
+  Document doc;
+  ASSERT_TRUE(ParseDocument("<a>&lt;x&gt; &amp; &quot;q&quot; &#65;</a>",
+                            &doc).ok());
+  EXPECT_EQ(doc.StringValue(doc.root()), "<x> & \"q\" A");
+}
+
+TEST(ParserTest, SkipsCommentsPiAndDoctype) {
+  Document doc;
+  ASSERT_TRUE(ParseDocument("<?xml version=\"1.0\"?>"
+                            "<!DOCTYPE a SYSTEM \"a.dtd\">"
+                            "<!-- comment --><a><!-- inner --><b/></a>",
+                            &doc).ok());
+  EXPECT_EQ(doc.num_alive(), 2u);
+}
+
+TEST(ParserTest, ParsesCdata) {
+  Document doc;
+  ASSERT_TRUE(ParseDocument("<a><![CDATA[<raw> & stuff]]></a>", &doc).ok());
+  EXPECT_EQ(doc.StringValue(doc.root()), "<raw> & stuff");
+}
+
+TEST(ParserTest, RejectsMismatchedTags) {
+  Document doc;
+  Status st = ParseDocument("<a><b></a></b>", &doc);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, RejectsTrailingContent) {
+  Document doc;
+  EXPECT_FALSE(ParseDocument("<a/><b/>", &doc).ok());
+}
+
+TEST(ParserTest, RejectsUnterminatedElement) {
+  Document doc;
+  EXPECT_FALSE(ParseDocument("<a><b>", &doc).ok());
+}
+
+TEST(ParserTest, ParsesForest) {
+  Document doc;
+  ASSERT_TRUE(ParseForest("<a>1</a><b/><c x=\"y\"/>", &doc).ok());
+  auto trees = doc.Children(doc.root());
+  ASSERT_EQ(trees.size(), 3u);
+  EXPECT_EQ(doc.dict().Name(doc.node(trees[0]).label), "a");
+  EXPECT_EQ(doc.dict().Name(doc.node(trees[2]).label), "c");
+}
+
+TEST(SerializerTest, RoundTripsStructure) {
+  const std::string xml =
+      "<site><people><person id=\"p0\"><name>Jo Ann</name></person>"
+      "</people></site>";
+  Document doc;
+  ASSERT_TRUE(ParseDocument(xml, &doc).ok());
+  EXPECT_EQ(SerializeDocument(doc), xml);
+}
+
+TEST(SerializerTest, EscapesSpecialCharacters) {
+  Document doc;
+  NodeHandle root = doc.CreateRoot("a");
+  doc.AppendText(root, "x < y & z");
+  doc.AppendAttribute(root, "q", "a\"b");
+  std::string out = SerializeDocument(doc);
+  EXPECT_EQ(out, "<a q=\"a&quot;b\">x &lt; y &amp; z</a>");
+}
+
+TEST(SerializerTest, SelfClosesEmptyElements) {
+  Document doc;
+  doc.CreateRoot("empty");
+  EXPECT_EQ(SerializeDocument(doc), "<empty/>");
+}
+
+TEST(SerializerTest, ParseSerializeParseIsStable) {
+  const std::string xml = "<a p=\"1\"><b>t1<c/>t2</b><d x=\"&amp;\"/></a>";
+  Document d1;
+  ASSERT_TRUE(ParseDocument(xml, &d1).ok());
+  std::string s1 = SerializeDocument(d1);
+  Document d2;
+  ASSERT_TRUE(ParseDocument(s1, &d2).ok());
+  EXPECT_EQ(SerializeDocument(d2), s1);
+}
+
+TEST(DocumentTest, ContentMatchesSerializer) {
+  Document doc;
+  ASSERT_TRUE(ParseDocument("<a><b k=\"v\">txt</b></a>", &doc).ok());
+  NodeHandle b = doc.Children(doc.root())[0];
+  EXPECT_EQ(doc.Content(b), "<b k=\"v\">txt</b>");
+}
+
+}  // namespace
+}  // namespace xvm

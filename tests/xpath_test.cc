@@ -1,0 +1,169 @@
+#include "xpath/xpath_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace xvm {
+namespace {
+
+class XPathTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& xml) {
+    doc_ = std::make_unique<Document>();
+    ASSERT_TRUE(ParseDocument(xml, doc_.get()).ok());
+  }
+
+  std::vector<std::string> Eval(const std::string& path) {
+    auto result = EvalXPathString(*doc_, path);
+    EXPECT_TRUE(result.ok()) << result.status().ToString() << " for " << path;
+    std::vector<std::string> out;
+    if (!result.ok()) return out;
+    for (NodeHandle h : result.value()) {
+      const Node& n = doc_->node(h);
+      out.push_back(doc_->dict().Name(n.label) + "=" + doc_->StringValue(h));
+    }
+    return out;
+  }
+
+  size_t Count(const std::string& path) { return Eval(path).size(); }
+
+  std::unique_ptr<Document> doc_;
+};
+
+TEST_F(XPathTest, AbsoluteChildPath) {
+  Load("<a><b>1</b><b>2</b><c><b>3</b></c></a>");
+  EXPECT_EQ(Count("/a/b"), 2u);
+  EXPECT_EQ(Count("/a/c/b"), 1u);
+  EXPECT_EQ(Count("/b"), 0u);  // root is <a>
+}
+
+TEST_F(XPathTest, DescendantAxis) {
+  Load("<a><b>1</b><c><b>2</b><d><b>3</b></d></c></a>");
+  EXPECT_EQ(Count("//b"), 3u);
+  EXPECT_EQ(Count("/a//b"), 3u);
+  EXPECT_EQ(Count("//c//b"), 2u);
+}
+
+TEST_F(XPathTest, ResultsInDocumentOrderNoDuplicates) {
+  Load("<a><c><c><b>x</b></c></c></a>");
+  // //c//b reaches b through two c contexts: exactly one result.
+  auto r = Eval("//c//b");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "b=x");
+}
+
+TEST_F(XPathTest, Wildcard) {
+  Load("<a><b/><c/><d>t</d></a>");
+  EXPECT_EQ(Count("/a/*"), 3u);
+  EXPECT_EQ(Count("//*"), 4u);  // includes root
+}
+
+TEST_F(XPathTest, AttributeStep) {
+  Load("<a><p id=\"p0\"/><p id=\"p1\"/><p/></a>");
+  EXPECT_EQ(Count("/a/p/@id"), 2u);
+  auto r = Eval("/a/p/@id");
+  EXPECT_EQ(r[0], "@id=p0");
+}
+
+TEST_F(XPathTest, ExistencePredicate) {
+  Load("<a><p><q/></p><p/><p><q/><r/></p></a>");
+  EXPECT_EQ(Count("/a/p[q]"), 2u);
+  EXPECT_EQ(Count("/a/p[q and r]"), 1u);
+  EXPECT_EQ(Count("/a/p[q or r]"), 2u);
+}
+
+TEST_F(XPathTest, AttributeExistencePredicate) {
+  Load("<a><p id=\"1\"/><p/></a>");
+  EXPECT_EQ(Count("/a/p[@id]"), 1u);
+}
+
+TEST_F(XPathTest, ValueComparisonPredicates) {
+  Load("<a><p><v>5</v></p><p><v>7</v></p></a>");
+  EXPECT_EQ(Count("/a/p[v=\"5\"]"), 1u);
+  EXPECT_EQ(Count("/a/p[v!=\"5\"]"), 1u);
+  EXPECT_EQ(Count("/a/p[v='9']"), 0u);
+}
+
+TEST_F(XPathTest, SelfComparison) {
+  Load("<a><v>5</v><v>7</v></a>");
+  EXPECT_EQ(Count("/a/v[.=\"5\"]"), 1u);
+}
+
+TEST_F(XPathTest, AttributeValuePredicate) {
+  Load("<a><p id=\"person12\"/><p id=\"person3\"/></a>");
+  EXPECT_EQ(Count("//p[@id=\"person12\"]"), 1u);
+}
+
+TEST_F(XPathTest, ExistentialComparisonSemantics) {
+  // XPath '=' over node sets is existential.
+  Load("<a><p><v>1</v><v>2</v></p></a>");
+  EXPECT_EQ(Count("/a/p[v=\"2\"]"), 1u);
+  EXPECT_EQ(Count("/a/p[v=\"3\"]"), 0u);
+  // '!=' is also existential: some v differs from 1.
+  EXPECT_EQ(Count("/a/p[v!=\"1\"]"), 1u);
+}
+
+TEST_F(XPathTest, NestedPredicatePaths) {
+  Load("<a><person><profile income=\"x\"/></person><person><profile/>"
+       "</person></a>");
+  EXPECT_EQ(Count("//person[profile/@income]"), 1u);
+}
+
+TEST_F(XPathTest, ParenthesizedBooleans) {
+  Load("<a><p><x/><y/></p><p><x/><z/></p><p><w/></p></a>");
+  EXPECT_EQ(Count("/a/p[x and (y or z)]"), 2u);
+  EXPECT_EQ(Count("/a/p[(x and y) or w]"), 2u);
+}
+
+TEST_F(XPathTest, ComplexAppendixA8Shape) {
+  Load("<site><people>"
+       "<person><address/><phone/><creditcard/></person>"
+       "<person><address/><homepage/><profile/></person>"
+       "<person><address/><phone/></person>"
+       "<person><phone/><creditcard/></person>"
+       "</people></site>");
+  EXPECT_EQ(Count("/site/people/person[address and (phone or homepage) and "
+                  "(creditcard or profile)]"),
+            2u);
+}
+
+TEST_F(XPathTest, TextNodeTest) {
+  Load("<a>t1<b>t2</b></a>");
+  EXPECT_EQ(Count("//text()"), 2u);
+  EXPECT_EQ(Count("/a/text()"), 1u);
+}
+
+TEST_F(XPathTest, DescendantFirstStepIncludesRoot) {
+  Load("<a><a/></a>");
+  EXPECT_EQ(Count("//a"), 2u);
+}
+
+TEST(XPathParserTest, RejectsBadSyntax) {
+  EXPECT_FALSE(ParseXPath("").ok());
+  EXPECT_FALSE(ParseXPath("a/b").ok());     // must be absolute
+  EXPECT_FALSE(ParseXPath("/a[").ok());
+  EXPECT_FALSE(ParseXPath("/a[b=]").ok());
+  EXPECT_FALSE(ParseXPath("/a trailing").ok());
+  EXPECT_FALSE(ParseXPath("/").ok());
+}
+
+TEST(XPathParserTest, RoundTripsToString) {
+  auto e = ParseXPath("/site/people/person[phone or homepage]//name");
+  ASSERT_TRUE(e.ok());
+  auto e2 = ParseXPath(e->ToString());
+  ASSERT_TRUE(e2.ok()) << e->ToString();
+  EXPECT_EQ(e2->ToString(), e->ToString());
+}
+
+TEST(XPathParserTest, KeywordsNotConfusedWithNames) {
+  // Element names starting with 'or'/'and' must parse as names.
+  auto e = ParseXPath("/a[order and android]");
+  ASSERT_TRUE(e.ok());
+  Document doc;
+  ASSERT_TRUE(ParseDocument("<a><order/><android/></a>", &doc).ok());
+  EXPECT_EQ(EvalXPath(doc, *e).size(), 1u);
+}
+
+}  // namespace
+}  // namespace xvm
