@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_insert_breakdown.dir/bench_fig18_insert_breakdown.cc.o"
+  "CMakeFiles/bench_fig18_insert_breakdown.dir/bench_fig18_insert_breakdown.cc.o.d"
+  "CMakeFiles/bench_fig18_insert_breakdown.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig18_insert_breakdown.dir/bench_util.cc.o.d"
+  "bench_fig18_insert_breakdown"
+  "bench_fig18_insert_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_insert_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_delete_breakdown.dir/bench_fig19_delete_breakdown.cc.o"
+  "CMakeFiles/bench_fig19_delete_breakdown.dir/bench_fig19_delete_breakdown.cc.o.d"
+  "CMakeFiles/bench_fig19_delete_breakdown.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig19_delete_breakdown.dir/bench_util.cc.o.d"
+  "bench_fig19_delete_breakdown"
+  "bench_fig19_delete_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_delete_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_delete_all_views.dir/bench_fig21_delete_all_views.cc.o"
+  "CMakeFiles/bench_fig21_delete_all_views.dir/bench_fig21_delete_all_views.cc.o.d"
+  "CMakeFiles/bench_fig21_delete_all_views.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig21_delete_all_views.dir/bench_util.cc.o.d"
+  "bench_fig21_delete_all_views"
+  "bench_fig21_delete_all_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_delete_all_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_23_path_depth.dir/bench_fig22_23_path_depth.cc.o"
+  "CMakeFiles/bench_fig22_23_path_depth.dir/bench_fig22_23_path_depth.cc.o.d"
+  "CMakeFiles/bench_fig22_23_path_depth.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig22_23_path_depth.dir/bench_util.cc.o.d"
+  "bench_fig22_23_path_depth"
+  "bench_fig22_23_path_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_23_path_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_annotations.dir/bench_fig24_annotations.cc.o"
+  "CMakeFiles/bench_fig24_annotations.dir/bench_fig24_annotations.cc.o.d"
+  "CMakeFiles/bench_fig24_annotations.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig24_annotations.dir/bench_util.cc.o.d"
+  "bench_fig24_annotations"
+  "bench_fig24_annotations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_annotations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

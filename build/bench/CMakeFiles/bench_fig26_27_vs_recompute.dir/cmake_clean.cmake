@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig26_27_vs_recompute.dir/bench_fig26_27_vs_recompute.cc.o"
+  "CMakeFiles/bench_fig26_27_vs_recompute.dir/bench_fig26_27_vs_recompute.cc.o.d"
+  "CMakeFiles/bench_fig26_27_vs_recompute.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig26_27_vs_recompute.dir/bench_util.cc.o.d"
+  "bench_fig26_27_vs_recompute"
+  "bench_fig26_27_vs_recompute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig26_27_vs_recompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

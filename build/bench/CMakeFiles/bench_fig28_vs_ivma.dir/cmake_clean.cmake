@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig28_vs_ivma.dir/bench_fig28_vs_ivma.cc.o"
+  "CMakeFiles/bench_fig28_vs_ivma.dir/bench_fig28_vs_ivma.cc.o.d"
+  "CMakeFiles/bench_fig28_vs_ivma.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig28_vs_ivma.dir/bench_util.cc.o.d"
+  "bench_fig28_vs_ivma"
+  "bench_fig28_vs_ivma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig28_vs_ivma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

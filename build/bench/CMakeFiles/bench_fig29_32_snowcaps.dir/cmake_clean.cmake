@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig29_32_snowcaps.dir/bench_fig29_32_snowcaps.cc.o"
+  "CMakeFiles/bench_fig29_32_snowcaps.dir/bench_fig29_32_snowcaps.cc.o.d"
+  "CMakeFiles/bench_fig29_32_snowcaps.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig29_32_snowcaps.dir/bench_util.cc.o.d"
+  "bench_fig29_32_snowcaps"
+  "bench_fig29_32_snowcaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig29_32_snowcaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

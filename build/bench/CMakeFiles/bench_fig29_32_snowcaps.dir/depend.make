@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig29_32_snowcaps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig33_35_pul_rules.dir/bench_fig33_35_pul_rules.cc.o"
+  "CMakeFiles/bench_fig33_35_pul_rules.dir/bench_fig33_35_pul_rules.cc.o.d"
+  "CMakeFiles/bench_fig33_35_pul_rules.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig33_35_pul_rules.dir/bench_util.cc.o.d"
+  "bench_fig33_35_pul_rules"
+  "bench_fig33_35_pul_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig33_35_pul_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

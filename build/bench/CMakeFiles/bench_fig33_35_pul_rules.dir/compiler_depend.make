@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig33_35_pul_rules.
+# This may be replaced when dependencies are built.

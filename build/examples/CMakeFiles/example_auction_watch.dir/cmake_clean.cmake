@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_auction_watch.dir/auction_watch.cpp.o"
+  "CMakeFiles/example_auction_watch.dir/auction_watch.cpp.o.d"
+  "example_auction_watch"
+  "example_auction_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_auction_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

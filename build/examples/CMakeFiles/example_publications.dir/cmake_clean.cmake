@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_publications.dir/publications.cpp.o"
+  "CMakeFiles/example_publications.dir/publications.cpp.o.d"
+  "example_publications"
+  "example_publications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_publications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

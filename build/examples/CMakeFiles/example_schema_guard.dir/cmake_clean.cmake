@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_schema_guard.dir/schema_guard.cpp.o"
+  "CMakeFiles/example_schema_guard.dir/schema_guard.cpp.o.d"
+  "example_schema_guard"
+  "example_schema_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_schema_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

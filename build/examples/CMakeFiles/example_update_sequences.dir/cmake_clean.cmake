@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_update_sequences.dir/update_sequences.cpp.o"
+  "CMakeFiles/example_update_sequences.dir/update_sequences.cpp.o.d"
+  "example_update_sequences"
+  "example_update_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_update_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

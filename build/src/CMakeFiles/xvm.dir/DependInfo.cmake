@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/expr.cc" "src/CMakeFiles/xvm.dir/algebra/expr.cc.o" "gcc" "src/CMakeFiles/xvm.dir/algebra/expr.cc.o.d"
+  "/root/repo/src/algebra/iterator.cc" "src/CMakeFiles/xvm.dir/algebra/iterator.cc.o" "gcc" "src/CMakeFiles/xvm.dir/algebra/iterator.cc.o.d"
+  "/root/repo/src/algebra/operators.cc" "src/CMakeFiles/xvm.dir/algebra/operators.cc.o" "gcc" "src/CMakeFiles/xvm.dir/algebra/operators.cc.o.d"
+  "/root/repo/src/algebra/value.cc" "src/CMakeFiles/xvm.dir/algebra/value.cc.o" "gcc" "src/CMakeFiles/xvm.dir/algebra/value.cc.o.d"
+  "/root/repo/src/baseline/ivma.cc" "src/CMakeFiles/xvm.dir/baseline/ivma.cc.o" "gcc" "src/CMakeFiles/xvm.dir/baseline/ivma.cc.o.d"
+  "/root/repo/src/baseline/recompute.cc" "src/CMakeFiles/xvm.dir/baseline/recompute.cc.o" "gcc" "src/CMakeFiles/xvm.dir/baseline/recompute.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/xvm.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/xvm.dir/common/strings.cc.o.d"
+  "/root/repo/src/common/varint.cc" "src/CMakeFiles/xvm.dir/common/varint.cc.o" "gcc" "src/CMakeFiles/xvm.dir/common/varint.cc.o.d"
+  "/root/repo/src/ids/dewey.cc" "src/CMakeFiles/xvm.dir/ids/dewey.cc.o" "gcc" "src/CMakeFiles/xvm.dir/ids/dewey.cc.o.d"
+  "/root/repo/src/ids/ordkey.cc" "src/CMakeFiles/xvm.dir/ids/ordkey.cc.o" "gcc" "src/CMakeFiles/xvm.dir/ids/ordkey.cc.o.d"
+  "/root/repo/src/pattern/compile.cc" "src/CMakeFiles/xvm.dir/pattern/compile.cc.o" "gcc" "src/CMakeFiles/xvm.dir/pattern/compile.cc.o.d"
+  "/root/repo/src/pattern/from_xpath.cc" "src/CMakeFiles/xvm.dir/pattern/from_xpath.cc.o" "gcc" "src/CMakeFiles/xvm.dir/pattern/from_xpath.cc.o.d"
+  "/root/repo/src/pattern/tree_pattern.cc" "src/CMakeFiles/xvm.dir/pattern/tree_pattern.cc.o" "gcc" "src/CMakeFiles/xvm.dir/pattern/tree_pattern.cc.o.d"
+  "/root/repo/src/pattern/twig.cc" "src/CMakeFiles/xvm.dir/pattern/twig.cc.o" "gcc" "src/CMakeFiles/xvm.dir/pattern/twig.cc.o.d"
+  "/root/repo/src/pul/pul.cc" "src/CMakeFiles/xvm.dir/pul/pul.cc.o" "gcc" "src/CMakeFiles/xvm.dir/pul/pul.cc.o.d"
+  "/root/repo/src/schema/delta_constraints.cc" "src/CMakeFiles/xvm.dir/schema/delta_constraints.cc.o" "gcc" "src/CMakeFiles/xvm.dir/schema/delta_constraints.cc.o.d"
+  "/root/repo/src/schema/dtd.cc" "src/CMakeFiles/xvm.dir/schema/dtd.cc.o" "gcc" "src/CMakeFiles/xvm.dir/schema/dtd.cc.o.d"
+  "/root/repo/src/store/canonical.cc" "src/CMakeFiles/xvm.dir/store/canonical.cc.o" "gcc" "src/CMakeFiles/xvm.dir/store/canonical.cc.o.d"
+  "/root/repo/src/store/label_dict.cc" "src/CMakeFiles/xvm.dir/store/label_dict.cc.o" "gcc" "src/CMakeFiles/xvm.dir/store/label_dict.cc.o.d"
+  "/root/repo/src/update/delta.cc" "src/CMakeFiles/xvm.dir/update/delta.cc.o" "gcc" "src/CMakeFiles/xvm.dir/update/delta.cc.o.d"
+  "/root/repo/src/update/update.cc" "src/CMakeFiles/xvm.dir/update/update.cc.o" "gcc" "src/CMakeFiles/xvm.dir/update/update.cc.o.d"
+  "/root/repo/src/view/costmodel.cc" "src/CMakeFiles/xvm.dir/view/costmodel.cc.o" "gcc" "src/CMakeFiles/xvm.dir/view/costmodel.cc.o.d"
+  "/root/repo/src/view/deferred.cc" "src/CMakeFiles/xvm.dir/view/deferred.cc.o" "gcc" "src/CMakeFiles/xvm.dir/view/deferred.cc.o.d"
+  "/root/repo/src/view/lattice.cc" "src/CMakeFiles/xvm.dir/view/lattice.cc.o" "gcc" "src/CMakeFiles/xvm.dir/view/lattice.cc.o.d"
+  "/root/repo/src/view/maintain.cc" "src/CMakeFiles/xvm.dir/view/maintain.cc.o" "gcc" "src/CMakeFiles/xvm.dir/view/maintain.cc.o.d"
+  "/root/repo/src/view/manager.cc" "src/CMakeFiles/xvm.dir/view/manager.cc.o" "gcc" "src/CMakeFiles/xvm.dir/view/manager.cc.o.d"
+  "/root/repo/src/view/persist.cc" "src/CMakeFiles/xvm.dir/view/persist.cc.o" "gcc" "src/CMakeFiles/xvm.dir/view/persist.cc.o.d"
+  "/root/repo/src/view/schema_guard.cc" "src/CMakeFiles/xvm.dir/view/schema_guard.cc.o" "gcc" "src/CMakeFiles/xvm.dir/view/schema_guard.cc.o.d"
+  "/root/repo/src/view/terms.cc" "src/CMakeFiles/xvm.dir/view/terms.cc.o" "gcc" "src/CMakeFiles/xvm.dir/view/terms.cc.o.d"
+  "/root/repo/src/view/view_def.cc" "src/CMakeFiles/xvm.dir/view/view_def.cc.o" "gcc" "src/CMakeFiles/xvm.dir/view/view_def.cc.o.d"
+  "/root/repo/src/view/view_store.cc" "src/CMakeFiles/xvm.dir/view/view_store.cc.o" "gcc" "src/CMakeFiles/xvm.dir/view/view_store.cc.o.d"
+  "/root/repo/src/xmark/generator.cc" "src/CMakeFiles/xvm.dir/xmark/generator.cc.o" "gcc" "src/CMakeFiles/xvm.dir/xmark/generator.cc.o.d"
+  "/root/repo/src/xmark/updates.cc" "src/CMakeFiles/xvm.dir/xmark/updates.cc.o" "gcc" "src/CMakeFiles/xvm.dir/xmark/updates.cc.o.d"
+  "/root/repo/src/xmark/views.cc" "src/CMakeFiles/xvm.dir/xmark/views.cc.o" "gcc" "src/CMakeFiles/xvm.dir/xmark/views.cc.o.d"
+  "/root/repo/src/xml/document.cc" "src/CMakeFiles/xvm.dir/xml/document.cc.o" "gcc" "src/CMakeFiles/xvm.dir/xml/document.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/xvm.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/xvm.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/CMakeFiles/xvm.dir/xml/serializer.cc.o" "gcc" "src/CMakeFiles/xvm.dir/xml/serializer.cc.o.d"
+  "/root/repo/src/xpath/xpath_ast.cc" "src/CMakeFiles/xvm.dir/xpath/xpath_ast.cc.o" "gcc" "src/CMakeFiles/xvm.dir/xpath/xpath_ast.cc.o.d"
+  "/root/repo/src/xpath/xpath_eval.cc" "src/CMakeFiles/xvm.dir/xpath/xpath_eval.cc.o" "gcc" "src/CMakeFiles/xvm.dir/xpath/xpath_eval.cc.o.d"
+  "/root/repo/src/xpath/xpath_parser.cc" "src/CMakeFiles/xvm.dir/xpath/xpath_parser.cc.o" "gcc" "src/CMakeFiles/xvm.dir/xpath/xpath_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

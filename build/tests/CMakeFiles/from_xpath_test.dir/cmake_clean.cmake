@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/from_xpath_test.dir/from_xpath_test.cc.o"
+  "CMakeFiles/from_xpath_test.dir/from_xpath_test.cc.o.d"
+  "from_xpath_test"
+  "from_xpath_test.pdb"
+  "from_xpath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/from_xpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

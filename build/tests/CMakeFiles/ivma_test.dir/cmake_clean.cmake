@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivma_test.dir/ivma_test.cc.o"
+  "CMakeFiles/ivma_test.dir/ivma_test.cc.o.d"
+  "ivma_test"
+  "ivma_test.pdb"
+  "ivma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

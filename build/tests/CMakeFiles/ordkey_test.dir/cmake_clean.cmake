@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordkey_test.dir/ordkey_test.cc.o"
+  "CMakeFiles/ordkey_test.dir/ordkey_test.cc.o.d"
+  "ordkey_test"
+  "ordkey_test.pdb"
+  "ordkey_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordkey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

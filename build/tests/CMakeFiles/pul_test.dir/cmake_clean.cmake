@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pul_test.dir/pul_test.cc.o"
+  "CMakeFiles/pul_test.dir/pul_test.cc.o.d"
+  "pul_test"
+  "pul_test.pdb"
+  "pul_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pul_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terms_test.dir/terms_test.cc.o"
+  "CMakeFiles/terms_test.dir/terms_test.cc.o.d"
+  "terms_test"
+  "terms_test.pdb"
+  "terms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

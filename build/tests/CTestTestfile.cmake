@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/algebra_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/costmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/deferred_test[1]_include.cmake")
+include("/root/repo/build/tests/dewey_test[1]_include.cmake")
+include("/root/repo/build/tests/dtd_test[1]_include.cmake")
+include("/root/repo/build/tests/from_xpath_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/iterator_test[1]_include.cmake")
+include("/root/repo/build/tests/ivma_test[1]_include.cmake")
+include("/root/repo/build/tests/maintain_test[1]_include.cmake")
+include("/root/repo/build/tests/manager_test[1]_include.cmake")
+include("/root/repo/build/tests/ordkey_test[1]_include.cmake")
+include("/root/repo/build/tests/pattern_test[1]_include.cmake")
+include("/root/repo/build/tests/persist_test[1]_include.cmake")
+include("/root/repo/build/tests/pul_test[1]_include.cmake")
+include("/root/repo/build/tests/terms_test[1]_include.cmake")
+include("/root/repo/build/tests/twig_test[1]_include.cmake")
+include("/root/repo/build/tests/update_test[1]_include.cmake")
+include("/root/repo/build/tests/view_store_test[1]_include.cmake")
+include("/root/repo/build/tests/xmark_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_test[1]_include.cmake")
+include("/root/repo/build/tests/xpath_test[1]_include.cmake")
