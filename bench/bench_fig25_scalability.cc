@@ -35,6 +35,23 @@ void Run() {
     });
     PrintPhaseRow(std::to_string(kb) + "KB", out.timing);
   }
+
+  PrintBanner("Figure 25 (c)",
+              "Multi-view parallel scalability: all views, update A6_A, "
+              "propagation wall time by worker count");
+  const size_t bytes = ScaledBytes(10 * 1024);
+  std::printf("%-10s %16s %16s\n", "workers", "insert_wall_ms",
+              "delete_wall_ms");
+  for (size_t w : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    MultiUpdateOutcome ins = AveragedMulti(Reps(), [&] {
+      return RunManagerAll(bytes, MakeInsertStmt(*u), w);
+    });
+    MultiUpdateOutcome del = AveragedMulti(Reps(), [&] {
+      return RunManagerAll(bytes, MakeDeleteStmt(*u), w);
+    });
+    std::printf("%-10zu %16.3f %16.3f\n", w, ins.propagate_wall_ms,
+                del.propagate_wall_ms);
+  }
 }
 
 }  // namespace

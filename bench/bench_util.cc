@@ -25,6 +25,16 @@ int Reps() {
   return reps;
 }
 
+size_t Workers() {
+  static const size_t workers = [] {
+    const char* env = std::getenv("XVM_WORKERS");
+    if (env == nullptr) return ThreadPool::DefaultWorkers();
+    int v = std::atoi(env);
+    return v > 0 ? static_cast<size_t>(v) : ThreadPool::DefaultWorkers();
+  }();
+  return workers;
+}
+
 size_t ScaledBytes(size_t paper_kb) {
   double bytes = static_cast<double>(paper_kb) * 1024.0 * Scale();
   return std::max<size_t>(static_cast<size_t>(bytes), 16 * 1024);
@@ -62,6 +72,40 @@ UpdateOutcome RunRecompute(const std::string& view_name, size_t bytes,
   auto out = rv.ApplyAndRecompute(wb.doc.get(), stmt);
   XVM_CHECK(out.ok());
   return std::move(out).value();
+}
+
+MultiUpdateOutcome RunManagerAll(size_t bytes, const UpdateStmt& stmt,
+                                 size_t workers, uint64_t seed,
+                                 MetricsRegistry* metrics) {
+  Workbench wb = MakeXMark(bytes, seed);
+  ViewManager mgr(wb.doc.get(), wb.store.get());
+  mgr.set_workers(workers);
+  mgr.set_metrics(metrics);
+  for (const std::string& name : XMarkViewNames()) {
+    auto def = XMarkView(name);
+    XVM_CHECK(def.ok());
+    mgr.AddView(std::move(def).value(), LatticeStrategy::kSnowcaps);
+  }
+  auto out = mgr.ApplyAndPropagateAll(stmt);
+  XVM_CHECK(out.ok());
+  return std::move(out).value();
+}
+
+void DumpMetricsJson(const MetricsRegistry& metrics) {
+  std::string json = metrics.ToJson();
+  const char* path = std::getenv("XVM_METRICS_JSON");
+  if (path != nullptr && *path != '\0') {
+    std::FILE* f = std::fopen(path, "w");
+    if (f != nullptr) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("\n[metrics json written to %s]\n", path);
+      return;
+    }
+    std::printf("\n[could not open %s; dumping to stdout]\n", path);
+  }
+  std::printf("\n-- metrics json --\n%s\n", json.c_str());
 }
 
 void PrintBanner(const std::string& figure, const std::string& description) {

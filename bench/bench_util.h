@@ -7,9 +7,11 @@
 #include <vector>
 
 #include "baseline/recompute.h"
+#include "common/metrics.h"
 #include "store/canonical.h"
 #include "update/update.h"
 #include "view/maintain.h"
+#include "view/manager.h"
 #include "xmark/generator.h"
 #include "xmark/updates.h"
 #include "xmark/views.h"
@@ -25,6 +27,10 @@ double Scale();
 
 /// Repetitions per measurement (XVM_REPS, default 3; the paper averaged 5).
 int Reps();
+
+/// Propagation worker count for multi-view runs (XVM_WORKERS, default: the
+/// hardware concurrency).
+size_t Workers();
 
 /// paper_kb scaled by Scale(), in bytes, with a small floor.
 size_t ScaledBytes(size_t paper_kb);
@@ -47,6 +53,17 @@ UpdateOutcome RunMaintained(const std::string& view_name, size_t bytes,
 UpdateOutcome RunRecompute(const std::string& view_name, size_t bytes,
                            const UpdateStmt& stmt, uint64_t seed = 7);
 
+/// One multi-view coordinator run: fresh document, *all* XMark views
+/// registered on one ViewManager, one statement applied and propagated to
+/// every view with `workers` propagation lanes. Per-view order in the result
+/// is XMarkViewNames() order. Optionally records into `metrics`.
+MultiUpdateOutcome RunManagerAll(size_t bytes, const UpdateStmt& stmt,
+                                 size_t workers, uint64_t seed = 7,
+                                 MetricsRegistry* metrics = nullptr);
+
+/// Writes metrics.ToJson() to $XVM_METRICS_JSON if set, else to stdout.
+void DumpMetricsJson(const MetricsRegistry& metrics);
+
 /// Averages outcomes of `reps` runs of `fn`.
 template <typename Fn>
 UpdateOutcome Averaged(int reps, Fn&& fn) {
@@ -63,6 +80,34 @@ UpdateOutcome Averaged(int reps, Fn&& fn) {
     averaged.Add(name, ms / reps);
   }
   total.timing = averaged;
+  return total;
+}
+
+/// Averages a MultiUpdateOutcome over `reps` runs of `fn`: shared and
+/// per-view phase timings and the propagation wall time are all averaged.
+template <typename Fn>
+MultiUpdateOutcome AveragedMulti(int reps, Fn&& fn) {
+  MultiUpdateOutcome total;
+  for (int i = 0; i < reps; ++i) {
+    MultiUpdateOutcome one = fn();
+    if (i == 0) {
+      total = std::move(one);
+    } else {
+      total.shared_timing.Merge(one.shared_timing);
+      for (size_t v = 0; v < total.per_view.size(); ++v) {
+        total.per_view[v].timing.Merge(one.per_view[v].timing);
+      }
+      total.propagate_wall_ms += one.propagate_wall_ms;
+    }
+  }
+  auto avg = [reps](PhaseTimer* t) {
+    PhaseTimer a;
+    for (const auto& [name, ms] : t->phases()) a.Add(name, ms / reps);
+    *t = a;
+  };
+  avg(&total.shared_timing);
+  for (UpdateOutcome& o : total.per_view) avg(&o.timing);
+  total.propagate_wall_ms /= reps;
   return total;
 }
 

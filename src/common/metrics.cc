@@ -1,0 +1,154 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace xvm {
+
+namespace {
+
+/// Bucket index for `ms`: floor(log2(us)) + 1, clamped to the array.
+size_t BucketIndex(double ms) {
+  const double us = ms * 1000.0;
+  if (us < 1.0) return 0;
+  const int lg = static_cast<int>(std::floor(std::log2(us)));
+  return std::min<size_t>(static_cast<size_t>(lg) + 1,
+                          LatencyHistogram::kBuckets - 1);
+}
+
+/// Upper bound of bucket i in ms: 2^(i-1) us... 2^i us; we report 2^i us.
+double BucketUpperMs(size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i)) / 1000.0;
+}
+
+void AppendKv(std::string* out, const char* key, double v) {
+  out->append("\"");
+  out->append(key);
+  out->append("\":");
+  out->append(FormatDouble(v, 6));
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double ms) {
+  ms = std::max(ms, 0.0);
+  ++buckets_[BucketIndex(ms)];
+  min_ms_ = count_ == 0 ? ms : std::min(min_ms_, ms);
+  max_ms_ = std::max(max_ms_, ms);
+  total_ms_ += ms;
+  ++count_;
+}
+
+double LatencyHistogram::PercentileMs(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const uint64_t target =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(p * count_)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(BucketUpperMs(i), max_ms_);
+  }
+  return max_ms_;
+}
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  min_ms_ = count_ == 0 ? other.min_ms_ : std::min(min_ms_, other.min_ms_);
+  max_ms_ = std::max(max_ms_, other.max_ms_);
+  total_ms_ += other.total_ms_;
+  count_ += other.count_;
+}
+
+void LatencyHistogram::AppendJson(std::string* out) const {
+  out->append("{\"count\":");
+  out->append(std::to_string(count_));
+  out->append(",");
+  AppendKv(out, "total_ms", total_ms_);
+  out->append(",");
+  AppendKv(out, "mean_ms", MeanMs());
+  out->append(",");
+  AppendKv(out, "min_ms", min_ms());
+  out->append(",");
+  AppendKv(out, "max_ms", max_ms_);
+  out->append(",");
+  AppendKv(out, "p50_ms", PercentileMs(0.50));
+  out->append(",");
+  AppendKv(out, "p95_ms", PercentileMs(0.95));
+  out->append("}");
+}
+
+void ViewMetrics::RecordPhase(const std::string& phase, double ms) {
+  phases_[phase].Record(ms);
+}
+
+void ViewMetrics::AddCounter(const std::string& counter, int64_t delta) {
+  counters_[counter] += delta;
+}
+
+void ViewMetrics::AppendJson(std::string* out) const {
+  out->append("{\"counters\":{");
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out->append(",");
+    first = false;
+    out->append("\"");
+    out->append(name);
+    out->append("\":");
+    out->append(std::to_string(value));
+  }
+  out->append("},\"phases\":{");
+  first = true;
+  for (const auto& [name, hist] : phases_) {
+    if (!first) out->append(",");
+    first = false;
+    out->append("\"");
+    out->append(name);
+    out->append("\":");
+    hist.AppendJson(out);
+  }
+  out->append("}}");
+}
+
+void MetricsRegistry::RecordPhase(const std::string& view,
+                                  const std::string& phase, double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  views_[view].RecordPhase(phase, ms);
+}
+
+void MetricsRegistry::AddCounter(const std::string& view,
+                                 const std::string& counter, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  views_[view].AddCounter(counter, delta);
+}
+
+std::map<std::string, ViewMetrics> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return views_;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::map<std::string, ViewMetrics> snap = Snapshot();
+  std::string out = "{\"views\":{";
+  bool first = true;
+  for (const auto& [name, metrics] : snap) {
+    if (!first) out.append(",");
+    first = false;
+    out.append("\"");
+    out.append(name);
+    out.append("\":");
+    metrics.AppendJson(&out);
+  }
+  out.append("}}");
+  return out;
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  views_.clear();
+}
+
+}  // namespace xvm

@@ -1,0 +1,98 @@
+#ifndef XVM_COMMON_METRICS_H_
+#define XVM_COMMON_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace xvm {
+
+/// Log-scale latency histogram in milliseconds. Bucket i covers
+/// [2^(i-1), 2^i) microseconds (bucket 0 covers [0, 1us); the last bucket is
+/// open-ended at ~35 minutes), so one fixed array spans sub-microsecond term
+/// evaluations and multi-second recomputes alike.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 32;
+
+  void Record(double ms);
+
+  uint64_t count() const { return count_; }
+  double total_ms() const { return total_ms_; }
+  double min_ms() const { return count_ == 0 ? 0.0 : min_ms_; }
+  double max_ms() const { return max_ms_; }
+  double MeanMs() const { return count_ == 0 ? 0.0 : total_ms_ / count_; }
+
+  /// Upper bound (ms) of the bucket holding the p-th percentile sample,
+  /// p in [0, 1]. An estimate: exact to within one power-of-two bucket.
+  double PercentileMs(double p) const;
+
+  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+  void MergeFrom(const LatencyHistogram& other);
+
+  /// Appends {"count":..,"total_ms":..,"mean_ms":..,"min_ms":..,
+  /// "max_ms":..,"p50_ms":..,"p95_ms":..} to `out`.
+  void AppendJson(std::string* out) const;
+
+ private:
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  double total_ms_ = 0.0;
+  double min_ms_ = 0.0;
+  double max_ms_ = 0.0;
+};
+
+/// Metrics of one view (or of the coordinator's shared work): a latency
+/// histogram per maintenance phase plus monotonic counters (terms evaluated,
+/// terms pruned, tuples added/removed, fallback recomputes, ...). Names are
+/// free-form; the maintenance layer uses the phase:: constants of timing.h
+/// and the counter names documented in DESIGN.md §"Metrics schema".
+class ViewMetrics {
+ public:
+  void RecordPhase(const std::string& phase, double ms);
+  void AddCounter(const std::string& counter, int64_t delta);
+
+  const std::map<std::string, LatencyHistogram>& phases() const {
+    return phases_;
+  }
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+
+  /// Appends {"counters":{...},"phases":{...}} to `out`.
+  void AppendJson(std::string* out) const;
+
+ private:
+  std::map<std::string, LatencyHistogram> phases_;
+  std::map<std::string, int64_t> counters_;
+};
+
+/// Thread-safe registry of per-view metrics, the coordinator's observability
+/// surface. Recording is mutex-guarded (cheap relative to the maintenance
+/// work it measures); readers take a deep snapshot or serialize to JSON.
+class MetricsRegistry {
+ public:
+  void RecordPhase(const std::string& view, const std::string& phase,
+                   double ms);
+  void AddCounter(const std::string& view, const std::string& counter,
+                  int64_t delta);
+
+  /// Deep copy of the current state, safe to read without locks.
+  std::map<std::string, ViewMetrics> Snapshot() const;
+
+  /// {"views":{"<name>":{"counters":{...},"phases":{"<phase>":{...}}}}}
+  /// Shared (non-per-view) work is reported under the pseudo-view
+  /// "__shared__" by the coordinator.
+  std::string ToJson() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, ViewMetrics> views_;
+};
+
+}  // namespace xvm
+
+#endif  // XVM_COMMON_METRICS_H_

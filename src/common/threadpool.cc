@@ -1,0 +1,77 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+
+namespace xvm {
+
+ThreadPool::ThreadPool(size_t workers) {
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+size_t ThreadPool::DefaultWorkers() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return std::max<size_t>(hw, 1);
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || batch_seq_ != seen; });
+    if (stop_) return;
+    seen = batch_seq_;
+    while (fn_ != nullptr && next_index_ < batch_size_) {
+      const size_t i = next_index_++;
+      ++in_flight_;
+      const std::function<void(size_t)>* fn = fn_;
+      lock.unlock();
+      (*fn)(i);
+      lock.lock();
+      --in_flight_;
+      if (next_index_ >= batch_size_ && in_flight_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> batch(batch_mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  batch_size_ = n;
+  next_index_ = 0;
+  in_flight_ = 0;
+  ++batch_seq_;
+  work_cv_.notify_all();
+  // The caller claims indices alongside the workers.
+  while (next_index_ < batch_size_) {
+    const size_t i = next_index_++;
+    ++in_flight_;
+    lock.unlock();
+    fn(i);
+    lock.lock();
+    --in_flight_;
+  }
+  done_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  fn_ = nullptr;
+}
+
+}  // namespace xvm

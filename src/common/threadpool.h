@@ -1,0 +1,65 @@
+#ifndef XVM_COMMON_THREADPOOL_H_
+#define XVM_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xvm {
+
+/// A fixed-size worker pool for index-based fan-out, the execution engine of
+/// the multi-view maintenance coordinator (view/manager.h). Deliberately
+/// work-stealing-free: ParallelFor dispenses indices 0..n-1 from a single
+/// shared cursor, so tasks *start* in index order regardless of worker count
+/// and the schedule is deterministic up to completion timing. Callers write
+/// results into per-index slots, which keeps output independent of the
+/// interleaving.
+///
+/// One batch runs at a time; concurrent ParallelFor calls serialize. The
+/// calling thread always participates in its batch, so a pool makes progress
+/// even if its worker threads are starved, and `workers == 0` is a valid
+/// configuration that simply runs every batch inline (the serial reference
+/// path).
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (0 is allowed: inline execution only).
+  explicit ThreadPool(size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t worker_count() const { return threads_.size(); }
+
+  /// Runs fn(0), fn(1), ..., fn(n-1) across the pool plus the calling
+  /// thread; returns once every call has completed. `fn` must be safe to
+  /// invoke concurrently for distinct indices.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Default worker count: the hardware concurrency, at least 1.
+  static size_t DefaultWorkers();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex batch_mu_;  // serializes ParallelFor callers
+
+  std::mutex mu_;  // guards everything below
+  std::condition_variable work_cv_;  // workers: a new batch is available
+  std::condition_variable done_cv_;  // caller: the batch has drained
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t batch_size_ = 0;
+  size_t next_index_ = 0;  // shared cursor; claimed in increasing order
+  size_t in_flight_ = 0;   // claimed but not yet finished
+  uint64_t batch_seq_ = 0;  // bumped per batch so idle workers notice work
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace xvm
+
+#endif  // XVM_COMMON_THREADPOOL_H_

@@ -20,6 +20,11 @@ bool GetVarint64(const std::string& data, size_t* pos, uint64_t* v) {
   size_t p = *pos;
   while (p < data.size() && shift < 64) {
     uint8_t byte = static_cast<uint8_t>(data[p++]);
+    // The 10th byte starts at shift 63: only its lowest bit fits in 64 bits.
+    // Reject encodings whose significant bits would be shifted past 63 (the
+    // old code silently truncated them) and encodings past 10 bytes (the
+    // shift < 64 guard alone let an 11-byte input decode as 10 valid bytes).
+    if (shift == 63 && byte > 1) return false;
     result |= static_cast<uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) {
       *pos = p;

@@ -9,13 +9,44 @@ OrdKey OrdKey::First() { return OrdKey({0}); }
 
 OrdKey OrdKey::After(const OrdKey& a) {
   XVM_CHECK(!a.empty());
+  if (a.components_[0] == INT64_MAX) {
+    // head+1 would overflow. Saturate by extending `a` itself: a proper
+    // prefix sorts before all its extensions, so a.1 > a (and > any earlier
+    // sibling, all of which are <= a). Appends past the boundary grow the
+    // key by one component each — the price of never relabeling.
+    std::vector<int64_t> out(a.components_);
+    out.push_back(1);
+    return OrdKey(std::move(out));
+  }
   // Truncating to head+1 keeps keys short under the common append workload.
   return OrdKey({a.components_[0] + 1});
 }
 
 OrdKey OrdKey::Before(const OrdKey& b) {
   XVM_CHECK(!b.empty());
-  return OrdKey({b.components_[0] - 1});
+  // Decrement the first component that has room, truncating the rest; the
+  // shared prefix keeps the result < b. Decrementing *to* INT64_MIN would
+  // strand later callers (nothing sorts below an all-MIN key), so saturate
+  // one early: go to MIN but append a 0, leaving the whole [MIN, x < 0]
+  // range below the result for further Before() calls.
+  for (size_t i = 0; i < b.components_.size(); ++i) {
+    const int64_t c = b.components_[i];
+    if (c == INT64_MIN) continue;
+    std::vector<int64_t> out(b.components_.begin(),
+                             b.components_.begin() + i + 1);
+    if (c == INT64_MIN + 1) {
+      out[i] = INT64_MIN;
+      out.push_back(0);
+    } else {
+      out[i] = c - 1;
+    }
+    return OrdKey(std::move(out));
+  }
+  // Every component is INT64_MIN: b is the global minimum of this ordering
+  // (a prefix precedes its extensions, so not even an extension helps). The
+  // factory functions never produce such a key — see the saturation above.
+  XVM_CHECK(false && "OrdKey::Before: no key below the global minimum");
+  return OrdKey();
 }
 
 OrdKey OrdKey::Between(const OrdKey& a, const OrdKey& b) {
@@ -26,11 +57,14 @@ OrdKey OrdKey::Between(const OrdKey& a, const OrdKey& b) {
   size_t i = 0;
   while (i < ca.size() && i < cb.size() && ca[i] == cb[i]) ++i;
   if (i < ca.size() && i < cb.size()) {
-    // Components differ at i with ca[i] < cb[i].
-    if (cb[i] - ca[i] > 1) {
+    // Components differ at i with ca[i] < cb[i]. The gap is computed in
+    // uint64 space: cb[i] - ca[i] as int64 overflows for far-apart endpoints
+    // of opposite signs (e.g. Between([INT64_MIN], [INT64_MAX])).
+    const uint64_t gap =
+        static_cast<uint64_t>(cb[i]) - static_cast<uint64_t>(ca[i]);
+    if (gap > 1) {
       std::vector<int64_t> out(ca.begin(), ca.begin() + i + 1);
-      // Midpoint avoids overflow for arbitrary int64 endpoints.
-      out[i] = ca[i] + (cb[i] - ca[i]) / 2;
+      out[i] = static_cast<int64_t>(static_cast<uint64_t>(ca[i]) + gap / 2);
       return OrdKey(std::move(out));
     }
     // Adjacent heads: any extension of `a` stays below `b`.
@@ -45,6 +79,10 @@ OrdKey OrdKey::Between(const OrdKey& a, const OrdKey& b) {
     // b extends past i, so a..cb[i] itself (a prefix of b) is already < b.
     return OrdKey(std::move(out));
   }
+  // b's only extra component is cb[i]; the keys strictly between a and b are
+  // exactly a.[x] with x < cb[i]. None exist when cb[i] == INT64_MIN (b is
+  // then a's immediate successor) — the factories never create that key.
+  XVM_CHECK(cb[i] != INT64_MIN);
   out[i] = cb[i] - 1;
   return OrdKey(std::move(out));
 }

@@ -31,11 +31,15 @@ class OrdKey {
   static OrdKey First();
 
   /// A key strictly greater than `a` (used for append-as-last-sibling).
-  /// Always single-component relative to a's head, so repeated appends do not
-  /// grow key length.
+  /// Single-component relative to a's head, so repeated appends do not grow
+  /// key length — until the head saturates at INT64_MAX, where the key is
+  /// extended with a new component instead of overflowing.
   static OrdKey After(const OrdKey& a);
 
-  /// A key strictly smaller than `b` (insert-before-first).
+  /// A key strictly smaller than `b` (insert-before-first). Saturates at
+  /// INT64_MIN by extending the key with a new component instead of
+  /// underflowing; requires b > the ordering's global minimum ([MIN..MIN],
+  /// which the factories never produce).
   static OrdKey Before(const OrdKey& b);
 
   /// A key strictly between `a` and `b`. Requires a < b.

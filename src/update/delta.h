@@ -76,6 +76,13 @@ class DeltaTables {
 struct DeltaNeeds {
   std::set<LabelId> val_labels;
   std::set<LabelId> cont_labels;
+
+  /// Unions `other` into this — the multi-view coordinator extracts one Δ
+  /// table set covering every registered view's payload needs.
+  void MergeFrom(const DeltaNeeds& other) {
+    val_labels.insert(other.val_labels.begin(), other.val_labels.end());
+    cont_labels.insert(other.cont_labels.begin(), other.cont_labels.end());
+  }
 };
 
 /// CD+ (Algorithm 2): builds the Δ+ tables from an applied insertion. The

@@ -37,6 +37,18 @@ UpdateStmt UpdateStmt::InsertQuery(std::string source_path,
   return u;
 }
 
+UpdateStmt UpdateStmt::ReplaceContent(std::string path, std::string xml_forest,
+                                      std::string name) {
+  UpdateStmt u;
+  u.kind = Kind::kReplace;
+  u.target_path = std::move(path);
+  u.name = std::move(name);
+  u.forest = std::make_shared<Document>();
+  Status st = ParseForest(xml_forest, u.forest.get());
+  XVM_CHECK(st.ok());  // constant forests are authored by the caller
+  return u;
+}
+
 StatusOr<Pul> ComputePul(const Document& doc, const UpdateStmt& stmt,
                          PhaseTimer* timer) {
   WallTimer watch;
@@ -47,6 +59,16 @@ StatusOr<Pul> ComputePul(const Document& doc, const UpdateStmt& stmt,
     pul.deletes.reserve(targets.size());
     for (NodeHandle t : targets) pul.deletes.push_back(PulDeleteOp{t});
   } else {
+    if (stmt.kind == UpdateStmt::Kind::kReplace) {
+      // The delete half of a replace: every existing child subtree of each
+      // target. ApplyPul runs deletions first, so the targets themselves
+      // stay alive for the insert half below.
+      for (NodeHandle t : targets) {
+        for (NodeHandle c : doc.Children(t)) {
+          pul.deletes.push_back(PulDeleteOp{c});
+        }
+      }
+    }
     std::vector<std::pair<const Document*, NodeHandle>> sources;
     if (stmt.forest != nullptr) {
       for (NodeHandle tree = stmt.forest->node(stmt.forest->root()).first_child;

@@ -17,8 +17,12 @@ namespace xvm {
 ///   * insert xml into q                — kInsert with a constant forest
 ///   * for $x in q insert xml into $x   — same as the previous form
 ///   * insert q1 into q2                — kInsert with source_path = q1
+///   * replace contents of q with xml   — kReplace: one statement whose PUL
+///     both deletes (every existing child subtree of each target) and
+///     inserts (the new forest under the same target) — the restriction of
+///     XQuery Update's "replace" to our ins-as-last-child model.
 struct UpdateStmt {
-  enum class Kind : uint8_t { kInsert, kDelete };
+  enum class Kind : uint8_t { kInsert, kDelete, kReplace };
 
   Kind kind = Kind::kInsert;
   std::string target_path;  // q / q2: where to insert or what to delete
@@ -39,6 +43,8 @@ struct UpdateStmt {
   static UpdateStmt InsertQuery(std::string source_path,
                                 std::string target_path,
                                 std::string name = "");
+  static UpdateStmt ReplaceContent(std::string path, std::string xml_forest,
+                                   std::string name = "");
 };
 
 /// One pending atomic insertion: copy `src_root` (a subtree of `src_doc`)

@@ -9,6 +9,11 @@ DeferredView::DeferredView(ViewDefinition def, Document* doc,
 void DeferredView::Initialize() { inner_.Initialize(); }
 
 Status DeferredView::Apply(const UpdateStmt& stmt) {
+  if (stmt.kind == UpdateStmt::Kind::kReplace) {
+    // A replace PUL carries both Δ− and Δ+; the queue entries model one
+    // sign each. Use MaintainedView/ViewManager for replace statements.
+    return Status::Unimplemented("deferred maintenance of replace");
+  }
   XVM_ASSIGN_OR_RETURN(Pul pul, ComputePul(*doc_, stmt, &timing_));
   PendingUpdate pending;
   pending.kind = stmt.kind;

@@ -475,21 +475,32 @@ StatusOr<UpdateOutcome> MaintainedView::ApplyAndPropagate(
   XVM_CHECK(doc == &store_->doc());
   UpdateOutcome out;
   XVM_ASSIGN_OR_RETURN(Pul pul, ComputePul(*doc, stmt, &out.timing));
-  if (stmt.kind == UpdateStmt::Kind::kDelete) {
+  // The general (replace-capable) flow: Δ− before the PUL touches the
+  // document, Δ+ after, delete propagation before insert propagation, and
+  // the insert pass excludes R-side bindings under deleted subtrees.
+  DeltaTables dm;
+  if (!pul.deletes.empty()) {
     std::set<LabelId> needs = DeltaMinusValLabelIds();
-    DeltaTables dm = ComputeDeltaMinus(*doc, pul, &out.timing, &needs);
-    ApplyResult applied = ApplyPul(doc, pul, nullptr);
-    out.nodes_deleted = applied.deleted_nodes.size();
-    PropagateDelete(dm, &out.timing, &out.stats);
-    store_->OnNodesRemoved(applied.deleted_nodes);
-  } else {
-    ApplyResult applied = ApplyPul(doc, pul, nullptr);
-    out.nodes_inserted = applied.inserted_nodes.size();
-    DeltaNeeds needs = DeltaPlusNeeds();
-    DeltaTables dp = ComputeDeltaPlus(*doc, applied, &out.timing, &needs);
-    PropagateInsert(dp, nullptr, &out.timing, &out.stats);
-    store_->OnNodesAdded(applied.inserted_nodes);
+    dm = ComputeDeltaMinus(*doc, pul, &out.timing, &needs);
   }
+  ApplyResult applied = ApplyPul(doc, pul, nullptr);
+  out.nodes_deleted = applied.deleted_nodes.size();
+  out.nodes_inserted = applied.inserted_nodes.size();
+  DeltaTables dp;
+  if (!pul.inserts.empty()) {
+    DeltaNeeds needs = DeltaPlusNeeds();
+    dp = ComputeDeltaPlus(*doc, applied, &out.timing, &needs);
+  }
+  DeletedRegion region(dm.anchor_ids());
+  if (!dm.anchor_ids().empty()) {
+    PropagateDelete(dm, &out.timing, &out.stats);
+  }
+  if (!applied.inserted_nodes.empty() && !out.stats.recompute_fallback) {
+    PropagateInsert(dp, region.empty() ? nullptr : &region, &out.timing,
+                    &out.stats);
+  }
+  store_->OnNodesRemoved(applied.deleted_nodes);
+  store_->OnNodesAdded(applied.inserted_nodes);
   if (out.stats.recompute_fallback) {
     ScopedPhase phase(&out.timing, phase::kExecuteUpdate);
     RecomputeFromStore();

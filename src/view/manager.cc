@@ -1,5 +1,7 @@
 #include "view/manager.h"
 
+#include <algorithm>
+
 namespace xvm {
 
 size_t ViewManager::AddView(ViewDefinition def, LatticeStrategy strategy) {
@@ -24,53 +26,128 @@ const MaintainedView* ViewManager::FindView(const std::string& name) const {
   return nullptr;
 }
 
-StatusOr<std::vector<UpdateOutcome>> ViewManager::ApplyAndPropagateAll(
-    const UpdateStmt& stmt) {
-  std::vector<UpdateOutcome> outcomes(views_.size());
-  PhaseTimer shared;  // FindTargetNodes + ComputeDeltas, charged once
-  XVM_ASSIGN_OR_RETURN(Pul pul, ComputePul(*doc_, stmt, &shared));
+void ViewManager::set_workers(size_t n) {
+  workers_ = std::max<size_t>(n, 1);
+  pool_.reset();  // recreated lazily with the new count
+}
 
-  if (stmt.kind == UpdateStmt::Kind::kDelete) {
-    // Union of every view's Δ− value-capture needs.
-    std::set<LabelId> needs;
+void ViewManager::RunPerView(const std::function<void(size_t)>& fn) {
+  if (workers_ <= 1 || views_.size() <= 1) {
+    for (size_t i = 0; i < views_.size(); ++i) fn(i);
+    return;
+  }
+  if (pool_ == nullptr) {
+    // The caller participates in every batch, so workers_ - 1 threads give
+    // exactly workers_ lanes.
+    pool_ = std::make_unique<ThreadPool>(workers_ - 1);
+  }
+  pool_->ParallelFor(views_.size(), fn);
+}
+
+StatusOr<MultiUpdateOutcome> ViewManager::ApplyAndPropagateAll(
+    const UpdateStmt& stmt) {
+  MultiUpdateOutcome out;
+  out.per_view.resize(views_.size());
+  out.workers = workers_;
+
+  XVM_ASSIGN_OR_RETURN(Pul pul, ComputePul(*doc_, stmt, &out.shared_timing));
+
+  // Batched Δ extraction: once per statement, with the union of every
+  // view's payload needs. Δ− must be read off the document *before* the PUL
+  // is applied (the doomed nodes are still resolvable), Δ+ after.
+  BatchedDeltaPlan plan;
+  if (!pul.deletes.empty()) {
+    std::set<LabelId> val_needs;
     for (const auto& v : views_) {
       std::set<LabelId> n = v->DeltaMinusValLabelIds();
-      needs.insert(n.begin(), n.end());
+      val_needs.insert(n.begin(), n.end());
     }
-    DeltaTables dm = ComputeDeltaMinus(*doc_, pul, &shared, &needs);
-    ApplyResult applied = ApplyPul(doc_, pul, nullptr);
-    for (size_t i = 0; i < views_.size(); ++i) {
-      outcomes[i].nodes_deleted = applied.deleted_nodes.size();
-      views_[i]->PropagateDelete(dm, &outcomes[i].timing,
-                                 &outcomes[i].stats);
-    }
-    store_->OnNodesRemoved(applied.deleted_nodes);
-  } else {
-    ApplyResult applied = ApplyPul(doc_, pul, nullptr);
+    plan.delta_minus =
+        ComputeDeltaMinus(*doc_, pul, &out.shared_timing, &val_needs);
+    plan.has_deletes = !plan.delta_minus.anchor_ids().empty();
+    plan.region = DeletedRegion(plan.delta_minus.anchor_ids());
+  }
+  ApplyResult applied = ApplyPul(doc_, pul, nullptr);
+  if (!pul.inserts.empty()) {
     DeltaNeeds needs;
-    for (const auto& v : views_) {
-      DeltaNeeds n = v->DeltaPlusNeeds();
-      needs.val_labels.insert(n.val_labels.begin(), n.val_labels.end());
-      needs.cont_labels.insert(n.cont_labels.begin(), n.cont_labels.end());
-    }
-    DeltaTables dp = ComputeDeltaPlus(*doc_, applied, &shared, &needs);
-    for (size_t i = 0; i < views_.size(); ++i) {
-      outcomes[i].nodes_inserted = applied.inserted_nodes.size();
-      views_[i]->PropagateInsert(dp, nullptr, &outcomes[i].timing,
-                                 &outcomes[i].stats);
-    }
-    store_->OnNodesAdded(applied.inserted_nodes);
+    for (const auto& v : views_) needs.MergeFrom(v->DeltaPlusNeeds());
+    plan.delta_plus =
+        ComputeDeltaPlus(*doc_, applied, &out.shared_timing, &needs);
+    plan.has_inserts = !applied.inserted_nodes.empty();
   }
+  out.nodes_deleted = applied.deleted_nodes.size();
+  out.nodes_inserted = applied.inserted_nodes.size();
 
-  // Predicate-guard fallbacks run once the store is consistent.
+  // Fan-out: document updated, store still pre-update (its canonical
+  // relations are the old R_l the union terms read), plan frozen — each view
+  // touches only its own state. For a replace-style PUL the Δ− pass runs
+  // first and the Δ+ pass excludes R-side bindings beneath replaced
+  // subtrees via plan.region.
+  WallTimer wall;
+  RunPerView([&](size_t i) {
+    UpdateOutcome& o = out.per_view[i];
+    o.nodes_inserted = applied.inserted_nodes.size();
+    o.nodes_deleted = applied.deleted_nodes.size();
+    if (plan.has_deletes) {
+      views_[i]->PropagateDelete(plan.delta_minus, &o.timing, &o.stats);
+    }
+    if (plan.has_inserts && !o.stats.recompute_fallback) {
+      views_[i]->PropagateInsert(plan.delta_plus,
+                                 plan.region.empty() ? nullptr : &plan.region,
+                                 &o.timing, &o.stats);
+    }
+  });
+
+  // Canonical relations roll forward once, after every view has read the
+  // old R_l.
+  store_->OnNodesRemoved(applied.deleted_nodes);
+  store_->OnNodesAdded(applied.inserted_nodes);
+
+  // Predicate-guard fallbacks rebuild from the now-consistent store; they
+  // are per-view recomputes, so they fan out too.
+  RunPerView([&](size_t i) {
+    if (!out.per_view[i].stats.recompute_fallback) return;
+    ScopedPhase phase(&out.per_view[i].timing, phase::kExecuteUpdate);
+    views_[i]->RecomputeFromStore();
+  });
+  out.propagate_wall_ms = wall.ElapsedMs();
+
+  RecordMetrics(out);
+  return out;
+}
+
+void ViewManager::RecordMetrics(const MultiUpdateOutcome& out) {
+  if (metrics_ == nullptr) return;
   for (size_t i = 0; i < views_.size(); ++i) {
-    if (outcomes[i].stats.recompute_fallback) {
-      ScopedPhase phase(&outcomes[i].timing, phase::kExecuteUpdate);
-      views_[i]->RecomputeFromStore();
+    const std::string& name = views_[i]->def().name();
+    const UpdateOutcome& o = out.per_view[i];
+    for (const auto& [phase, ms] : o.timing.phases()) {
+      metrics_->RecordPhase(name, phase, ms);
+    }
+    const MaintenanceStats& s = o.stats;
+    metrics_->AddCounter(name, "updates", 1);
+    metrics_->AddCounter(name, "terms_considered",
+                         static_cast<int64_t>(s.terms_considered));
+    metrics_->AddCounter(name, "terms_pruned_data",
+                         static_cast<int64_t>(s.terms_pruned_data));
+    metrics_->AddCounter(name, "terms_evaluated",
+                         static_cast<int64_t>(s.terms_evaluated));
+    metrics_->AddCounter(name, "derivations_added", s.derivations_added);
+    metrics_->AddCounter(name, "derivations_removed", s.derivations_removed);
+    metrics_->AddCounter(name, "tuples_modified",
+                         static_cast<int64_t>(s.tuples_modified));
+    if (s.recompute_fallback) {
+      metrics_->AddCounter(name, "recompute_fallbacks", 1);
     }
   }
-  if (!outcomes.empty()) outcomes[0].timing.Merge(shared);
-  return outcomes;
+  for (const auto& [phase, ms] : out.shared_timing.phases()) {
+    metrics_->RecordPhase(kSharedMetricsView, phase, ms);
+  }
+  metrics_->AddCounter(kSharedMetricsView, "updates", 1);
+  metrics_->AddCounter(kSharedMetricsView, "nodes_inserted",
+                       static_cast<int64_t>(out.nodes_inserted));
+  metrics_->AddCounter(kSharedMetricsView, "nodes_deleted",
+                       static_cast<int64_t>(out.nodes_deleted));
 }
 
 }  // namespace xvm

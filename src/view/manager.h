@@ -1,21 +1,48 @@
 #ifndef XVM_VIEW_MANAGER_H_
 #define XVM_VIEW_MANAGER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
+#include "common/threadpool.h"
 #include "view/maintain.h"
 
 namespace xvm {
 
+/// The Δ state of one statement, extracted once with the *union* of every
+/// registered view's payload needs and then shared read-only by all
+/// propagation workers. Freezing it (together with the document and the
+/// still-pre-update canonical store) is what makes the per-view propagation
+/// passes share-nothing.
+struct BatchedDeltaPlan {
+  DeltaTables delta_minus;  // Δ− with the union of val-capture labels
+  DeltaTables delta_plus;   // Δ+ with the union of val/cont payload labels
+  DeletedRegion region;     // deleted subtree roots (empty when no deletes)
+  bool has_deletes = false;
+  bool has_inserts = false;
+};
+
+/// Pseudo-view name under which the coordinator reports shared (non-per-view)
+/// work to a MetricsRegistry.
+inline constexpr char kSharedMetricsView[] = "__shared__";
+
 /// Coordinates several materialized views over one document/store: the
 /// paper's "context where several views are materialized" (§3.5). A
 /// statement is located and applied to the document exactly once; the Δ
-/// tables are extracted with the *union* of all views' payload needs; every
-/// view then receives its propagation pass, and the canonical relations are
+/// tables are extracted once with the union of all views' payload needs
+/// (BatchedDeltaPlan); every view then receives its propagation pass —
+/// concurrently when set_workers(n > 1) — and the canonical relations are
 /// brought forward once at the end.
+///
+/// Parallel engine: each MaintainedView owns its content and lattice, and
+/// during the fan-out the document, store and Δ plan are frozen, so views
+/// are share-nothing and the parallel result is bit-identical to the serial
+/// one. Tasks are dispatched in registration order by a work-stealing-free
+/// ThreadPool; workers == 1 runs inline with no pool at all.
 class ViewManager {
  public:
   ViewManager(Document* doc, StoreIndex* store) : doc_(doc), store_(store) {}
@@ -34,17 +61,35 @@ class ViewManager {
   /// Finds a registered view by name; nullptr if absent.
   const MaintainedView* FindView(const std::string& name) const;
 
+  /// Sets the propagation worker count (>= 1). The pool is (re)created
+  /// lazily on the next ApplyAndPropagateAll; 1 tears it down and runs the
+  /// serial inline path.
+  void set_workers(size_t n);
+  size_t workers() const { return workers_; }
+
+  /// Optional observability sink: per-view phase latencies and maintenance
+  /// counters are recorded after every statement (shared work under
+  /// kSharedMetricsView). The registry must outlive the manager. nullptr
+  /// disables recording.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
   /// Applies the statement to the document and propagates it to every
-  /// registered view. Returns one outcome per view (same order as
-  /// registration); document-side phases (FindTargetNodes, ComputeDeltas)
-  /// are charged to the first view's outcome.
-  StatusOr<std::vector<UpdateOutcome>> ApplyAndPropagateAll(
-      const UpdateStmt& stmt);
+  /// registered view. Handles insert, delete and replace statements —
+  /// a replace PUL both deletes and inserts, so the Δ− pass runs first and
+  /// the Δ+ pass excludes R-side bindings under the replaced subtrees.
+  StatusOr<MultiUpdateOutcome> ApplyAndPropagateAll(const UpdateStmt& stmt);
 
  private:
+  /// Runs fn(0..n-1) over the views, on the pool when workers_ > 1.
+  void RunPerView(const std::function<void(size_t)>& fn);
+  void RecordMetrics(const MultiUpdateOutcome& out);
+
   Document* doc_;
   StoreIndex* store_;
   std::vector<std::unique_ptr<MaintainedView>> views_;
+  size_t workers_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // lazily created when workers_ > 1
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace xvm

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/timing.h"
 
@@ -25,6 +26,26 @@ struct UpdateOutcome {
   MaintenanceStats stats;
   size_t nodes_inserted = 0;
   size_t nodes_deleted = 0;
+};
+
+/// Result of one statement propagated to *all* views of a ViewManager.
+/// Document-side work done once for every view (FindTargetNodes,
+/// ComputeDeltaTables) is reported in `shared_timing`, not smeared into any
+/// view's own breakdown — per_view[i].timing holds only that view's
+/// propagation phases. Consumers wanting one view's end-to-end cost add the
+/// shared phases explicitly (TotalMsFor), amortizing them as they see fit.
+struct MultiUpdateOutcome {
+  std::vector<UpdateOutcome> per_view;  // registration order
+  PhaseTimer shared_timing;             // charged once per statement
+  size_t nodes_inserted = 0;
+  size_t nodes_deleted = 0;
+  double propagate_wall_ms = 0.0;  // wall time of the per-view fan-out
+  size_t workers = 1;              // worker count the engine ran with
+
+  /// View i's phases plus the statement's shared phases, in milliseconds.
+  double TotalMsFor(size_t i) const {
+    return per_view[i].timing.TotalMs() + shared_timing.TotalMs();
+  }
 };
 
 }  // namespace xvm

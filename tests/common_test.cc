@@ -90,6 +90,44 @@ TEST(VarintTest, TruncatedInputFails) {
   }
 }
 
+TEST(VarintTest, MaxValueRoundTripsInTenBytes) {
+  std::string buf;
+  PutVarint64(&buf, ~0ull);
+  EXPECT_EQ(buf.size(), 10u);  // 64 bits / 7 bits-per-byte -> 10 bytes
+  size_t pos = 0;
+  uint64_t v = 0;
+  ASSERT_TRUE(GetVarint64(buf, &pos, &v));
+  EXPECT_EQ(v, ~0ull);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarintTest, RejectsOverlongEncoding) {
+  // Eleven bytes: ten continuation bytes followed by a terminator. A strict
+  // decoder must not accept it (the tenth byte would need its continuation
+  // bit, which already makes its value > 1).
+  std::string buf(10, '\x80');
+  buf.push_back('\x00');
+  size_t pos = 0;
+  uint64_t v = 0;
+  EXPECT_FALSE(GetVarint64(buf, &pos, &v));
+}
+
+TEST(VarintTest, RejectsOverflowingFinalByte) {
+  // Ten bytes whose final byte carries bits past bit 63: decoding must fail
+  // instead of silently truncating them.
+  std::string buf(9, '\xff');
+  buf.push_back('\x02');  // bit 64 set
+  size_t pos = 0;
+  uint64_t v = 0;
+  EXPECT_FALSE(GetVarint64(buf, &pos, &v));
+
+  // The same prefix with final byte 1 is exactly UINT64_MAX and must parse.
+  buf.back() = '\x01';
+  pos = 0;
+  ASSERT_TRUE(GetVarint64(buf, &pos, &v));
+  EXPECT_EQ(v, ~0ull);
+}
+
 TEST(ZigZagTest, RoundTrip) {
   for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, INT64_MIN,
                     INT64_MAX}) {

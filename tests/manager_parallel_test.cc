@@ -1,0 +1,184 @@
+// Stress test for the parallel multi-view maintenance coordinator: many
+// views with mixed lattice strategies following one mixed stream of insert,
+// delete and replace statements. The parallel engine must produce view
+// contents identical to the serial engine, and both must match a fresh
+// recomputation from the canonical store after every statement.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pattern/compile.h"
+#include "view/manager.h"
+#include "xmark/generator.h"
+#include "xmark/updates.h"
+#include "xmark/views.h"
+
+namespace xvm {
+namespace {
+
+struct Workbench {
+  Workbench(size_t workers, uint64_t seed) : store(&doc) {
+    GenerateXMark(XMarkConfig{40 * 1024, seed}, &doc);
+    store.Build();
+    mgr = std::make_unique<ViewManager>(&doc, &store);
+    mgr->set_workers(workers);
+    // All seven paper views plus two Q1 annotation variants: nine views,
+    // alternating lattice strategies so both propagation shapes run
+    // concurrently in one batch.
+    size_t i = 0;
+    for (const std::string& name : XMarkViewNames()) {
+      auto def = XMarkView(name);
+      EXPECT_TRUE(def.ok()) << name;
+      mgr->AddView(std::move(def).value(),
+                   (i++ % 2 == 0) ? LatticeStrategy::kSnowcaps
+                                  : LatticeStrategy::kLeaves);
+    }
+    for (const char* variant : {"VC_Leaf", "VC_All"}) {
+      auto def = XMarkQ1Variant(variant);
+      EXPECT_TRUE(def.ok()) << variant;
+      mgr->AddView(std::move(def).value(),
+                   (i++ % 2 == 0) ? LatticeStrategy::kSnowcaps
+                                  : LatticeStrategy::kLeaves);
+    }
+  }
+
+  Document doc;
+  StoreIndex store;
+  std::unique_ptr<ViewManager> mgr;
+};
+
+// The mixed workload: insertions and deletions from the paper's update set
+// plus replace statements built from the same targets/forests.
+std::vector<UpdateStmt> MixedWorkload() {
+  std::vector<UpdateStmt> stmts;
+  auto add_ins = [&](const char* name) {
+    auto u = FindXMarkUpdate(name);
+    EXPECT_TRUE(u.ok()) << name;
+    stmts.push_back(MakeInsertStmt(*u));
+  };
+  auto add_del = [&](const char* name) {
+    auto u = FindXMarkUpdate(name);
+    EXPECT_TRUE(u.ok()) << name;
+    stmts.push_back(MakeDeleteStmt(*u));
+  };
+  auto add_rep = [&](const char* name) {
+    auto u = FindXMarkUpdate(name);
+    EXPECT_TRUE(u.ok()) << name;
+    stmts.push_back(
+        UpdateStmt::ReplaceContent(u->target, u->forest, u->name + "_rep"));
+  };
+  add_ins("X1_L");
+  add_ins("X2_L");
+  add_rep("A6_A");
+  add_ins("A7_O");
+  add_del("X2_L");
+  add_rep("X1_L");
+  add_ins("E6_L");
+  add_del("A6_A");
+  add_rep("A7_O");
+  add_del("E6_L");
+  return stmts;
+}
+
+void ExpectViewsEqual(const ViewManager& a, const ViewManager& b,
+                      const std::string& at) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    auto sa = a.view(i).view().Snapshot();
+    auto sb = b.view(i).view().Snapshot();
+    ASSERT_EQ(sa.size(), sb.size())
+        << a.view(i).def().name() << " after " << at;
+    for (size_t t = 0; t < sa.size(); ++t) {
+      ASSERT_EQ(sa[t].tuple, sb[t].tuple)
+          << a.view(i).def().name() << " after " << at;
+      ASSERT_EQ(sa[t].count, sb[t].count)
+          << a.view(i).def().name() << " after " << at;
+    }
+  }
+}
+
+void ExpectMatchesRecompute(const ViewManager& mgr, const StoreIndex& store,
+                            const std::string& at) {
+  for (size_t i = 0; i < mgr.size(); ++i) {
+    const MaintainedView& v = mgr.view(i);
+    const TreePattern& pat = v.def().pattern();
+    auto truth = EvalViewWithCounts(pat, StoreLeafSource(&store, &pat));
+    auto got = v.view().Snapshot();
+    ASSERT_EQ(got.size(), truth.size()) << v.def().name() << " after " << at;
+    for (size_t t = 0; t < truth.size(); ++t) {
+      ASSERT_EQ(got[t].tuple, truth[t].tuple)
+          << v.def().name() << " after " << at;
+      ASSERT_EQ(got[t].count, truth[t].count)
+          << v.def().name() << " after " << at;
+    }
+  }
+}
+
+TEST(ManagerParallelStressTest, MixedStreamParallelSerialRecomputeAgree) {
+  constexpr uint64_t kSeed = 1234;
+  Workbench serial(1, kSeed);
+  Workbench parallel(4, kSeed);
+  ASSERT_GE(serial.mgr->size(), 8u);
+
+  MetricsRegistry metrics;
+  parallel.mgr->set_metrics(&metrics);
+
+  size_t stmt_no = 0;
+  for (const UpdateStmt& stmt : MixedWorkload()) {
+    const std::string at = "stmt#" + std::to_string(stmt_no++);
+    auto so = serial.mgr->ApplyAndPropagateAll(stmt);
+    auto po = parallel.mgr->ApplyAndPropagateAll(stmt);
+    ASSERT_TRUE(so.ok()) << at << ": " << so.status().ToString();
+    ASSERT_TRUE(po.ok()) << at << ": " << po.status().ToString();
+    EXPECT_EQ(so->nodes_inserted, po->nodes_inserted) << at;
+    EXPECT_EQ(so->nodes_deleted, po->nodes_deleted) << at;
+    // Parallel == serial after *every* statement, not just at the end —
+    // divergence would otherwise be laundered by a later fallback recompute.
+    ExpectViewsEqual(*serial.mgr, *parallel.mgr, at);
+  }
+
+  // Both engines == fresh evaluation over the rolled-forward store.
+  ExpectMatchesRecompute(*serial.mgr, serial.store, "end");
+  ExpectMatchesRecompute(*parallel.mgr, parallel.store, "end");
+
+  // The metrics registry saw every view and the shared pseudo-view.
+  auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.count(kSharedMetricsView), 1u);
+  for (size_t i = 0; i < parallel.mgr->size(); ++i) {
+    EXPECT_EQ(snap.count(parallel.mgr->view(i).def().name()), 1u)
+        << parallel.mgr->view(i).def().name();
+  }
+  EXPECT_GE(snap[kSharedMetricsView].counters().at("updates"),
+            static_cast<int64_t>(stmt_no));
+}
+
+TEST(ManagerParallelStressTest, WorkerCountSweepIsDeterministic) {
+  // The same stream under 1, 2, 4 and 8 workers: all four engines must end
+  // bit-identical (worker count is an execution detail, never a semantic).
+  constexpr uint64_t kSeed = 77;
+  std::vector<std::unique_ptr<Workbench>> benches;
+  for (size_t w : {1u, 2u, 4u, 8u}) {
+    benches.push_back(std::make_unique<Workbench>(w, kSeed));
+  }
+  for (const char* name : {"X1_L", "A7_O", "B7_LB"}) {
+    auto u = FindXMarkUpdate(name);
+    ASSERT_TRUE(u.ok());
+    for (auto& b : benches) {
+      ASSERT_TRUE(b->mgr->ApplyAndPropagateAll(MakeInsertStmt(*u)).ok());
+    }
+    for (auto& b : benches) {
+      ASSERT_TRUE(b->mgr->ApplyAndPropagateAll(MakeDeleteStmt(*u)).ok());
+    }
+  }
+  for (size_t i = 1; i < benches.size(); ++i) {
+    ExpectViewsEqual(*benches[0]->mgr, *benches[i]->mgr,
+                     "worker sweep engine " + std::to_string(i));
+  }
+  ExpectMatchesRecompute(*benches.back()->mgr, benches.back()->store, "end");
+}
+
+}  // namespace
+}  // namespace xvm

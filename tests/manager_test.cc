@@ -43,7 +43,7 @@ TEST(ViewManagerTest, MultipleViewsFollowOneStream) {
     ASSERT_TRUE(u.ok());
     auto outs = mgr.ApplyAndPropagateAll(MakeInsertStmt(*u));
     ASSERT_TRUE(outs.ok()) << uname;
-    ASSERT_EQ(outs->size(), 3u);
+    ASSERT_EQ(outs->per_view.size(), 3u);
   }
   auto u = FindXMarkUpdate("A6_A");
   ASSERT_TRUE(u.ok());
@@ -89,8 +89,109 @@ TEST(ViewManagerTest, PredicateGuardFallbackHandled) {
   // it changes "5x" to "5": the predicate flips from false to true.
   auto outs = mgr.ApplyAndPropagateAll(UpdateStmt::Delete("//a/t"));
   ASSERT_TRUE(outs.ok());
-  EXPECT_TRUE((*outs)[0].stats.recompute_fallback);
+  EXPECT_TRUE(outs->per_view[0].stats.recompute_fallback);
   ExpectAllConsistent(mgr, store);
+}
+
+TEST(ViewManagerTest, SharedPhasesReportedSeparately) {
+  // FindTargetNodes / ComputeDeltaTables happen once per statement; they
+  // must land in shared_timing, not in (and especially not *only* in) the
+  // first view's breakdown.
+  Document doc;
+  GenerateXMark(XMarkConfig{25 * 1024, 9}, &doc);
+  StoreIndex store(&doc);
+  store.Build();
+  ViewManager mgr(&doc, &store);
+  for (const char* name : {"Q1", "Q2"}) {
+    auto def = XMarkView(name);
+    ASSERT_TRUE(def.ok());
+    mgr.AddView(std::move(def).value(), LatticeStrategy::kSnowcaps);
+  }
+  auto u = FindXMarkUpdate("X1_L");
+  ASSERT_TRUE(u.ok());
+  auto outs = mgr.ApplyAndPropagateAll(MakeInsertStmt(*u));
+  ASSERT_TRUE(outs.ok());
+  EXPECT_GT(outs->shared_timing.Get(phase::kFindTargets), 0.0);
+  EXPECT_GT(outs->shared_timing.Get(phase::kComputeDeltas), 0.0);
+  for (const UpdateOutcome& o : outs->per_view) {
+    EXPECT_EQ(o.timing.Get(phase::kFindTargets), 0.0);
+    EXPECT_EQ(o.timing.Get(phase::kComputeDeltas), 0.0);
+  }
+  EXPECT_GE(outs->TotalMsFor(0),
+            outs->per_view[0].timing.TotalMs() +
+                outs->shared_timing.TotalMs() - 1e-9);
+}
+
+TEST(ViewManagerTest, MultiViewReplaceExcludesReplacedSubtree) {
+  // A replace statement's PUL both deletes (the old children) and inserts
+  // (the new forest). The coordinator must propagate Δ− and must pass the
+  // DeletedRegion to PropagateInsert so Δ+ terms do not join against
+  // R-side bindings inside the replaced subtrees.
+  Document doc;
+  ASSERT_TRUE(ParseDocument("<r>"
+                            "<l><a><b>1</b><b>2</b></a></l>"
+                            "<l><a><b>3</b></a></l>"
+                            "</r>",
+                            &doc)
+                  .ok());
+  StoreIndex store(&doc);
+  store.Build();
+  ViewManager mgr(&doc, &store);
+  for (const char* pat : {"//l{id}(//b{id})", "//a{id}(//b{id,val})"}) {
+    auto def = ViewDefinition::Create(std::string("v") + pat, pat);
+    ASSERT_TRUE(def.ok());
+    mgr.AddView(std::move(def).value(), LatticeStrategy::kSnowcaps);
+  }
+  // Replace each l's content: the old a/b subtrees leave the views; the new
+  // ones enter; nothing may pair new Δ+ nodes with replaced R nodes.
+  auto outs = mgr.ApplyAndPropagateAll(
+      UpdateStmt::ReplaceContent("//l", "<a><b>9</b></a>"));
+  ASSERT_TRUE(outs.ok());
+  EXPECT_GT(outs->nodes_deleted, 0u);
+  EXPECT_GT(outs->nodes_inserted, 0u);
+  ExpectAllConsistent(mgr, store);
+}
+
+TEST(ViewManagerTest, ParallelEngineMatchesSerial) {
+  auto build = [](size_t workers, Document* doc, StoreIndex* store)
+      -> std::unique_ptr<ViewManager> {
+    GenerateXMark(XMarkConfig{30 * 1024, 47}, doc);
+    store->Build();
+    auto mgr = std::make_unique<ViewManager>(doc, store);
+    mgr->set_workers(workers);
+    for (const char* name : {"Q1", "Q2", "Q6", "Q17"}) {
+      auto def = XMarkView(name);
+      EXPECT_TRUE(def.ok());
+      mgr->AddView(std::move(def).value(), LatticeStrategy::kSnowcaps);
+    }
+    return mgr;
+  };
+  Document doc_s, doc_p;
+  StoreIndex store_s(&doc_s), store_p(&doc_p);
+  auto serial = build(1, &doc_s, &store_s);
+  auto parallel = build(4, &doc_p, &store_p);
+
+  for (const char* uname : {"X1_L", "A7_O", "A6_A"}) {
+    auto u = FindXMarkUpdate(uname);
+    ASSERT_TRUE(u.ok());
+    ASSERT_TRUE(serial->ApplyAndPropagateAll(MakeInsertStmt(*u)).ok());
+    ASSERT_TRUE(parallel->ApplyAndPropagateAll(MakeInsertStmt(*u)).ok());
+  }
+  auto u = FindXMarkUpdate("A6_A");
+  ASSERT_TRUE(u.ok());
+  ASSERT_TRUE(serial->ApplyAndPropagateAll(MakeDeleteStmt(*u)).ok());
+  ASSERT_TRUE(parallel->ApplyAndPropagateAll(MakeDeleteStmt(*u)).ok());
+
+  for (size_t i = 0; i < serial->size(); ++i) {
+    auto s = serial->view(i).view().Snapshot();
+    auto p = parallel->view(i).view().Snapshot();
+    ASSERT_EQ(s.size(), p.size()) << serial->view(i).def().name();
+    for (size_t t = 0; t < s.size(); ++t) {
+      EXPECT_EQ(s[t].tuple, p[t].tuple);
+      EXPECT_EQ(s[t].count, p[t].count);
+    }
+  }
+  ExpectAllConsistent(*parallel, store_p);
 }
 
 TEST(ViewManagerTest, FindViewByName) {

@@ -140,6 +140,74 @@ TEST(OrdKeyPropertyTest, PathologicalLeftInsertion) {
   }
 }
 
+TEST(OrdKeyTest, AfterSaturatesAtHeadMax) {
+  // After a key whose last component is INT64_MAX: incrementing would
+  // overflow, so the key is extended instead of wrapping around.
+  OrdKey top({INT64_MAX});
+  OrdKey next = OrdKey::After(top);
+  EXPECT_LT(top, next);
+  EXPECT_GT(next.size(), 1u);
+
+  // The chain keeps working past the saturation point.
+  OrdKey k = next;
+  for (int i = 0; i < 50; ++i) {
+    OrdKey n = OrdKey::After(k);
+    ASSERT_LT(k, n);
+    k = n;
+  }
+  // And Between still finds room right at the boundary.
+  OrdKey mid = OrdKey::Between(top, next);
+  EXPECT_LT(top, mid);
+  EXPECT_LT(mid, next);
+}
+
+TEST(OrdKeyTest, BeforeSaturatesAtHeadMin) {
+  // Before a key at INT64_MIN + 1: decrementing reaches the minimum head,
+  // where a further plain decrement would overflow. The factory must keep
+  // producing strictly smaller keys by extension.
+  OrdKey low({INT64_MIN + 1});
+  OrdKey k = OrdKey::Before(low);
+  EXPECT_LT(k, low);
+  for (int i = 0; i < 50; ++i) {
+    OrdKey n = OrdKey::Before(k);
+    ASSERT_LT(n, k);
+    k = n;
+  }
+  OrdKey mid = OrdKey::Between(k, low);
+  EXPECT_LT(k, mid);
+  EXPECT_LT(mid, low);
+}
+
+TEST(OrdKeyTest, BetweenExtremeHeads) {
+  // Signed subtraction INT64_MAX - INT64_MIN overflows; the midpoint must
+  // still land strictly between.
+  OrdKey a({INT64_MIN});
+  OrdKey b({INT64_MAX});
+  OrdKey mid = OrdKey::Between(a, b);
+  EXPECT_LT(a, mid);
+  EXPECT_LT(mid, b);
+}
+
+TEST(OrdKeyTest, BoundaryChainStaysOrderedAndDistinct) {
+  // Interleave After at the max edge and Before at the min edge, then check
+  // global ordering of everything produced.
+  std::vector<OrdKey> keys;
+  OrdKey hi({INT64_MAX});
+  OrdKey lo({INT64_MIN + 1});
+  keys.push_back(lo);
+  keys.push_back(hi);
+  for (int i = 0; i < 20; ++i) {
+    hi = OrdKey::After(hi);
+    lo = OrdKey::Before(lo);
+    keys.push_back(hi);
+    keys.push_back(lo);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (size_t j = 1; j < keys.size(); ++j) {
+    ASSERT_LT(keys[j - 1], keys[j]);  // also implies all-distinct
+  }
+}
+
 TEST(OrdKeyTest, ToStringFormat) {
   EXPECT_EQ(OrdKey({3}).ToString(), "3");
   EXPECT_EQ(OrdKey({3, 0, -1}).ToString(), "3.0.-1");

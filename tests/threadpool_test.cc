@@ -1,0 +1,173 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+
+namespace xvm {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  std::vector<int> hits(64, 0);  // plain vector: no other thread may touch it
+  std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(hits.size(), [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, EmptyAndSingletonBatches) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> one{0};
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    one.fetch_add(1);
+  });
+  EXPECT_EQ(one.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(17, [&](size_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), 17u * 18u / 2u) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForIsABarrier) {
+  // Every index's side effect must be visible once ParallelFor returns, even
+  // with more tasks than lanes and tasks of uneven cost.
+  ThreadPool pool(4);
+  constexpr size_t kN = 200;
+  std::vector<size_t> out(kN, 0);
+  pool.ParallelFor(kN, [&](size_t i) {
+    std::atomic<size_t> spin{(i % 7) * 1000};
+    while (spin.load(std::memory_order_relaxed) > 0) {
+      spin.fetch_sub(1, std::memory_order_relaxed);
+    }
+    out[i] = i * i;
+  });
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, DefaultWorkersIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultWorkers(), 1u);
+}
+
+TEST(LatencyHistogramTest, StatsAndPercentiles) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.MeanMs(), 0.0);
+  for (double ms : {1.0, 2.0, 3.0, 4.0}) h.Record(ms);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.total_ms(), 10.0);
+  EXPECT_DOUBLE_EQ(h.MeanMs(), 2.5);
+  EXPECT_DOUBLE_EQ(h.min_ms(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max_ms(), 4.0);
+  // Bucket bounds are powers of two; estimates land within one bucket.
+  EXPECT_GE(h.PercentileMs(0.5), 1.0);
+  EXPECT_LE(h.PercentileMs(0.5), 4.0);
+  EXPECT_GE(h.PercentileMs(1.0), 4.0);
+}
+
+TEST(LatencyHistogramTest, MergePreservesTotals) {
+  LatencyHistogram a, b;
+  a.Record(0.5);
+  a.Record(8.0);
+  b.Record(2.0);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.total_ms(), 10.5);
+  EXPECT_DOUBLE_EQ(a.min_ms(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max_ms(), 8.0);
+}
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry reg;
+  reg.AddCounter("Q1", "terms_evaluated", 3);
+  reg.AddCounter("Q1", "terms_evaluated", 2);
+  reg.AddCounter("Q2", "tuples_modified", 7);
+  auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.count("Q1"), 1u);
+  EXPECT_EQ(snap["Q1"].counters().at("terms_evaluated"), 5);
+  EXPECT_EQ(snap["Q2"].counters().at("tuples_modified"), 7);
+}
+
+TEST(MetricsRegistryTest, PhasesRecordHistograms) {
+  MetricsRegistry reg;
+  reg.RecordPhase("Q1", "PropagateInsert", 1.5);
+  reg.RecordPhase("Q1", "PropagateInsert", 2.5);
+  auto snap = reg.Snapshot();
+  const LatencyHistogram& h = snap["Q1"].phases().at("PropagateInsert");
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.total_ms(), 4.0);
+}
+
+TEST(MetricsRegistryTest, JsonShape) {
+  MetricsRegistry reg;
+  reg.RecordPhase("Q1", "PropagateInsert", 1.0);
+  reg.AddCounter("Q1", "updates", 1);
+  reg.AddCounter("__shared__", "nodes_inserted", 12);
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"views\""), std::string::npos);
+  EXPECT_NE(json.find("\"Q1\""), std::string::npos);
+  EXPECT_NE(json.find("\"__shared__\""), std::string::npos);
+  EXPECT_NE(json.find("\"PropagateInsert\""), std::string::npos);
+  EXPECT_NE(json.find("\"nodes_inserted\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  // Balanced braces as a cheap well-formedness check.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(MetricsRegistryTest, ClearResets) {
+  MetricsRegistry reg;
+  reg.AddCounter("Q1", "updates", 1);
+  reg.Clear();
+  EXPECT_TRUE(reg.Snapshot().empty());
+}
+
+TEST(MetricsRegistryTest, ConcurrentRecordingIsSafe) {
+  MetricsRegistry reg;
+  ThreadPool pool(4);
+  pool.ParallelFor(64, [&](size_t i) {
+    std::string view = "v" + std::to_string(i % 4);
+    reg.AddCounter(view, "updates", 1);
+    reg.RecordPhase(view, "PropagateInsert", 0.25);
+  });
+  auto snap = reg.Snapshot();
+  int64_t total = 0;
+  uint64_t samples = 0;
+  for (const auto& [name, vm] : snap) {
+    total += vm.counters().at("updates");
+    samples += vm.phases().at("PropagateInsert").count();
+  }
+  EXPECT_EQ(total, 64);
+  EXPECT_EQ(samples, 64u);
+}
+
+}  // namespace
+}  // namespace xvm
