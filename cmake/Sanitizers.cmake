@@ -1,0 +1,53 @@
+# Sanitizer build presets.
+#
+#   -DXVM_SANITIZE=none       (default) plain build
+#   -DXVM_SANITIZE=address    ASan + UBSan combined (the two compose; this is
+#                             the "memory correctness" gate configuration)
+#   -DXVM_SANITIZE=thread     TSan (incompatible with ASan, hence separate)
+#   -DXVM_SANITIZE=undefined  UBSan alone (cheapest; for quick local runs)
+#
+# Each preset also exports XVM_SANITIZER_TEST_ENV, a list of VAR=value
+# entries that tests/CMakeLists.txt attaches to every discovered test as its
+# ENVIRONMENT property, so a bare `ctest` run picks up the suppression files
+# under tools/sanitizers/ and the strictness options (halt_on_error etc.)
+# without any wrapper script.
+
+set(XVM_SANITIZE "none" CACHE STRING
+    "Sanitizer preset: none|address|thread|undefined")
+set_property(CACHE XVM_SANITIZE PROPERTY STRINGS
+             none address thread undefined)
+
+set(XVM_SANITIZER_TEST_ENV "")
+set(_xvm_supp_dir ${CMAKE_CURRENT_SOURCE_DIR}/tools/sanitizers)
+
+if(XVM_SANITIZE STREQUAL "none")
+  # Nothing to do.
+elseif(XVM_SANITIZE STREQUAL "address")
+  set(_xvm_san_flags -fsanitize=address,undefined -fno-sanitize-recover=all
+      -fno-omit-frame-pointer -g)
+  list(APPEND XVM_SANITIZER_TEST_ENV
+       "ASAN_OPTIONS=detect_stack_use_after_return=1:strict_string_checks=1:check_initialization_order=1:detect_leaks=1"
+       "LSAN_OPTIONS=suppressions=${_xvm_supp_dir}/lsan.supp"
+       "UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1:suppressions=${_xvm_supp_dir}/ubsan.supp")
+elseif(XVM_SANITIZE STREQUAL "thread")
+  set(_xvm_san_flags -fsanitize=thread -fno-omit-frame-pointer -g)
+  list(APPEND XVM_SANITIZER_TEST_ENV
+       "TSAN_OPTIONS=suppressions=${_xvm_supp_dir}/tsan.supp:halt_on_error=1:second_deadlock_stack=1")
+elseif(XVM_SANITIZE STREQUAL "undefined")
+  set(_xvm_san_flags -fsanitize=undefined -fno-sanitize-recover=all
+      -fno-omit-frame-pointer -g)
+  list(APPEND XVM_SANITIZER_TEST_ENV
+       "UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1:suppressions=${_xvm_supp_dir}/ubsan.supp")
+else()
+  message(FATAL_ERROR
+          "Unknown XVM_SANITIZE='${XVM_SANITIZE}' "
+          "(expected none|address|thread|undefined)")
+endif()
+
+if(DEFINED _xvm_san_flags)
+  # Sanitized builds want full debug fidelity: keep optimization moderate so
+  # stacks stay readable, and sanitize the link step too.
+  add_compile_options(${_xvm_san_flags})
+  add_link_options(${_xvm_san_flags})
+  message(STATUS "xvm: sanitizer preset '${XVM_SANITIZE}' enabled")
+endif()

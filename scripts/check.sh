@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# One-command correctness gate for xvm — the bar every PR must clear:
+#
+#   1. Status-discipline lint (tools/lint_status.py).
+#   2. clang-tidy over src/ (skipped with a notice when not installed).
+#   3. ASan+UBSan build (-DXVM_SANITIZE=address) + full ctest run.
+#   4. TSan build (-DXVM_SANITIZE=thread) + full ctest run.
+#
+# Both sanitized runs execute with the invariant auditor enabled
+# (XVM_CHECK_INVARIANTS=1): after every applied statement the maintenance
+# layer re-validates store document order, Dewey parent/prefix consistency,
+# label-dictionary bijectivity and (sampled) view-vs-recompute equality.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast   reuse existing build trees without reconfiguring
+# Env:
+#   JOBS=<n>      parallel build/test jobs (default: nproc)
+#   XVM_TIDY=0    skip clang-tidy even if installed
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+JOBS="${JOBS:-$(nproc)}"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "lint (Status discipline)"
+python3 tools/lint_status.py --root "$ROOT"
+
+step "clang-tidy"
+if [[ "${XVM_TIDY:-1}" == "0" ]]; then
+  echo "skipped (XVM_TIDY=0)"
+elif command -v clang-tidy >/dev/null 2>&1; then
+  # The address build tree below exports compile_commands.json; configure it
+  # first if this is the first run.
+  if [[ ! -f build-asan/compile_commands.json ]]; then
+    cmake -B build-asan -S . -DXVM_SANITIZE=address -DXVM_CHECK_INVARIANTS=ON \
+          -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  # shellcheck disable=SC2046
+  clang-tidy -p build-asan --quiet $(find src -name '*.cc' | sort)
+else
+  echo "skipped (clang-tidy not installed; config in .clang-tidy)"
+fi
+
+run_config() {
+  local preset="$1" bdir="$2"
+  step "build ($preset sanitizer)"
+  if [[ "$FAST" == "0" || ! -d "$bdir" ]]; then
+    cmake -B "$bdir" -S . -DXVM_SANITIZE="$preset" -DXVM_CHECK_INVARIANTS=ON \
+          -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  cmake --build "$bdir" -j "$JOBS"
+  step "ctest ($preset sanitizer, invariants on)"
+  XVM_CHECK_INVARIANTS=1 ctest --test-dir "$bdir" --output-on-failure -j "$JOBS"
+}
+
+run_config address build-asan
+run_config thread build-tsan
+
+step "all checks passed"

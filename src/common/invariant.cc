@@ -1,0 +1,73 @@
+#include "common/invariant.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace xvm {
+
+namespace {
+
+bool DefaultEnabled() {
+  if (const char* env = std::getenv("XVM_CHECK_INVARIANTS")) {
+    return env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+  }
+#ifdef XVM_CHECK_INVARIANTS
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{DefaultEnabled()};
+  return enabled;
+}
+
+}  // namespace
+
+bool InvariantReport::Has(std::string_view invariant) const {
+  for (const InvariantViolation& v : violations_) {
+    if (v.invariant == invariant) return true;
+  }
+  return false;
+}
+
+std::string InvariantReport::ToString() const {
+  std::string out;
+  for (const InvariantViolation& v : violations_) {
+    out.append(v.invariant);
+    out.append(": ");
+    out.append(v.detail);
+    out.append("\n");
+  }
+  return out;
+}
+
+bool InvariantAuditingEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+bool SetInvariantAuditing(bool enabled) {
+  return EnabledFlag().exchange(enabled, std::memory_order_relaxed);
+}
+
+size_t InvariantAuditSamplePeriod() {
+  static const size_t period = [] {
+    if (const char* env = std::getenv("XVM_AUDIT_SAMPLE")) {
+      const long v = std::atol(env);
+      if (v > 0) return static_cast<size_t>(v);
+    }
+    return static_cast<size_t>(1);
+  }();
+  return period;
+}
+
+void InvariantAuditFailed(const InvariantReport& report, const char* where) {
+  std::cerr << "XVM invariant audit failed after " << where << " ("
+            << report.violations().size() << " violation(s)):\n"
+            << report.ToString();
+  std::abort();
+}
+
+}  // namespace xvm

@@ -1,0 +1,84 @@
+#ifndef XVM_COMMON_INVARIANT_H_
+#define XVM_COMMON_INVARIANT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xvm {
+
+/// Core of the debug-mode invariant auditor. This header is layering-free:
+/// it defines only the report type and the runtime gate. The subsystem
+/// auditors that know about documents, stores and views live next to the
+/// code they check (store/audit.h, view/audit.h) and append their findings
+/// to an InvariantReport; the maintenance layer aborts on a non-ok report.
+
+/// One violated invariant with a precise, actionable diagnostic.
+struct InvariantViolation {
+  std::string invariant;  // dotted id, e.g. "store.document_order"
+  std::string detail;     // what/where, e.g. "relation 'item' entry 3 ..."
+};
+
+/// Accumulates violations across several audit passes. ok() iff empty.
+class InvariantReport {
+ public:
+  void Add(std::string invariant, std::string detail) {
+    violations_.push_back({std::move(invariant), std::move(detail)});
+  }
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+
+  /// True iff some violation carries exactly this invariant id.
+  bool Has(std::string_view invariant) const;
+
+  /// One line per violation: "<invariant>: <detail>".
+  std::string ToString() const;
+
+ private:
+  std::vector<InvariantViolation> violations_;
+};
+
+/// Whether the per-statement auditor hooks in the maintenance layer run.
+/// Resolution order (checked once, then cached):
+///   1. SetInvariantAuditing() override, if any test/tool called it;
+///   2. the XVM_CHECK_INVARIANTS environment variable ("0"/"" off, else on);
+///   3. the compile-time default: on iff built with -DXVM_CHECK_INVARIANTS=ON.
+/// Thread-safe; reading the flag on the maintenance hot path is one relaxed
+/// atomic load.
+bool InvariantAuditingEnabled();
+
+/// Overrides the gate at runtime (tests, tools). Returns the previous
+/// effective value so callers can restore it.
+bool SetInvariantAuditing(bool enabled);
+
+/// Every how many statements a given view's content is re-derived and
+/// compared (view audits are full recomputes, hence sampled). From the
+/// XVM_AUDIT_SAMPLE environment variable; default 1 (every statement).
+size_t InvariantAuditSamplePeriod();
+
+/// Prints every violation to stderr and aborts. The maintenance layer calls
+/// this when a post-statement audit fails: the store/view state is corrupt
+/// and continuing would propagate the corruption into downstream views.
+[[noreturn]] void InvariantAuditFailed(const InvariantReport& report,
+                                       const char* where);
+
+/// RAII gate flip for tests: enables (or disables) auditing for the scope.
+class ScopedInvariantAuditing {
+ public:
+  explicit ScopedInvariantAuditing(bool enabled = true)
+      : previous_(SetInvariantAuditing(enabled)) {}
+  ~ScopedInvariantAuditing() { SetInvariantAuditing(previous_); }
+
+  ScopedInvariantAuditing(const ScopedInvariantAuditing&) = delete;
+  ScopedInvariantAuditing& operator=(const ScopedInvariantAuditing&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace xvm
+
+#endif  // XVM_COMMON_INVARIANT_H_

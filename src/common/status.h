@@ -28,7 +28,10 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A lightweight success-or-error result, modeled after absl::Status.
-class Status {
+/// [[nodiscard]]: dropping a returned Status silently swallows the failure,
+/// so the compiler (and tools/lint_status.py) reject it. Handle the status
+/// or propagate it with XVM_RETURN_IF_ERROR.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -78,7 +81,7 @@ class Status {
 
 /// A value-or-error result, modeled after absl::StatusOr.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit conversions from T and Status mirror absl::StatusOr and keep
   /// call sites terse (`return value;` / `return Status::...;`).

@@ -56,6 +56,14 @@ class StoreIndex {
   /// Sum of relation sizes (diagnostics).
   size_t TotalEntries() const;
 
+  /// Direct mutable access to a relation's node vector, so tests can inject
+  /// deliberate corruption (out-of-order entries, dead/mislabeled nodes) and
+  /// assert the invariant auditor (store/audit.h) reports it. Never used by
+  /// production code.
+  std::vector<NodeHandle>* MutableNodesForTesting(LabelId label) {
+    return &relations_[label].nodes_;
+  }
+
  private:
   const Document* doc_;
   std::unordered_map<LabelId, CanonicalRelation> relations_;

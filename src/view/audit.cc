@@ -1,0 +1,69 @@
+#include "view/audit.h"
+
+#include <string>
+#include <vector>
+
+#include "pattern/compile.h"
+
+namespace xvm {
+
+namespace {
+
+std::string TupleDesc(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out.append(", ");
+    out.append(t[i].ToString());
+  }
+  out.append(")");
+  return out;
+}
+
+}  // namespace
+
+void AuditViewContent(const MaintainedView& view, const StoreIndex& store,
+                      InvariantReport* report) {
+  const std::string& name = view.def().name();
+  const TreePattern& pattern = view.def().pattern();
+  const std::vector<CountedTuple> truth =
+      EvalViewWithCounts(pattern, StoreLeafSource(&store, &pattern));
+  const std::vector<CountedTuple> got = view.view().Snapshot();
+
+  int64_t total = 0;
+  for (const CountedTuple& ct : got) {
+    total += ct.count;
+    if (ct.count <= 0) {
+      report->Add("view.positive_counts",
+                  "view '" + name + "' holds tuple " + TupleDesc(ct.tuple) +
+                      " with non-positive count " + std::to_string(ct.count));
+    }
+  }
+  if (total != view.view().total_derivations()) {
+    report->Add("view.derivation_total",
+                "view '" + name + "' total_derivations() is " +
+                    std::to_string(view.view().total_derivations()) +
+                    " but its tuples sum to " + std::to_string(total));
+  }
+
+  if (got.size() != truth.size()) {
+    report->Add("view.matches_recompute",
+                "view '" + name + "' holds " + std::to_string(got.size()) +
+                    " tuples but recomputation yields " +
+                    std::to_string(truth.size()));
+    return;
+  }
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (got[i].tuple != truth[i].tuple || got[i].count != truth[i].count) {
+      report->Add("view.matches_recompute",
+                  "view '" + name + "' diverges from recomputation at tuple " +
+                      std::to_string(i) + ": maintained " +
+                      TupleDesc(got[i].tuple) + " x" +
+                      std::to_string(got[i].count) + ", recomputed " +
+                      TupleDesc(truth[i].tuple) + " x" +
+                      std::to_string(truth[i].count));
+      return;
+    }
+  }
+}
+
+}  // namespace xvm

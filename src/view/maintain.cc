@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "common/invariant.h"
+#include "store/audit.h"
+#include "view/audit.h"
+
 namespace xvm {
 
 DeletedRegion::DeletedRegion(std::vector<DeweyId> roots)
@@ -505,6 +509,7 @@ StatusOr<UpdateOutcome> MaintainedView::ApplyAndPropagate(
     ScopedPhase phase(&out.timing, phase::kExecuteUpdate);
     RecomputeFromStore();
   }
+  MaybeAuditAfterStatement(*doc, "MaintainedView::ApplyAndPropagate");
   return out;
 }
 
@@ -544,7 +549,22 @@ StatusOr<UpdateOutcome> MaintainedView::ApplyOpsAndPropagate(
     ScopedPhase phase(&out.timing, phase::kExecuteUpdate);
     RecomputeFromStore();
   }
+  MaybeAuditAfterStatement(*doc, "MaintainedView::ApplyOpsAndPropagate");
   return out;
+}
+
+void MaintainedView::MaybeAuditAfterStatement(const Document& doc,
+                                              const char* where) {
+  if (!InvariantAuditingEnabled()) return;
+  const uint64_t seq = audit_seq_++;
+  InvariantReport report;
+  AuditStorageLayer(doc, *store_, &report);
+  // The view audit is a full re-derivation, so it is sampled (period 1 =
+  // every statement; see InvariantAuditSamplePeriod).
+  if (seq % InvariantAuditSamplePeriod() == 0) {
+    AuditViewContent(*this, *store_, &report);
+  }
+  if (!report.ok()) InvariantAuditFailed(report, where);
 }
 
 }  // namespace xvm

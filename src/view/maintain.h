@@ -130,6 +130,9 @@ class MaintainedView {
   void RunPimt(const DeltaTables& delta, MaintenanceStats* stats);
   void RunPdmt(const DeletedRegion& region, MaintenanceStats* stats);
   bool PredicateGuardTriggered(const DeltaTables& delta) const;
+  /// Debug-mode invariant audit (common/invariant.h) after a statement this
+  /// view applied itself; aborts with diagnostics on any violation.
+  void MaybeAuditAfterStatement(const Document& doc, const char* where);
 
   ViewDefinition def_;
   StoreIndex* store_;
@@ -144,6 +147,7 @@ class MaintainedView {
   std::vector<int> stored_cols_;      // canonical binding -> stored tuple
   std::vector<int> removal_cols_;     // canonical binding -> stored ID cols
   std::vector<NodeLayout> stored_node_layout_;  // node -> cols in stored tuple
+  uint64_t audit_seq_ = 0;  // statements audited (samples the view audit)
 };
 
 }  // namespace xvm

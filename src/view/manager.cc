@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "common/invariant.h"
+#include "store/audit.h"
+#include "view/audit.h"
+
 namespace xvm {
 
 size_t ViewManager::AddView(ViewDefinition def, LatticeStrategy strategy) {
@@ -112,8 +116,26 @@ StatusOr<MultiUpdateOutcome> ViewManager::ApplyAndPropagateAll(
   });
   out.propagate_wall_ms = wall.ElapsedMs();
 
+  MaybeAuditAfterStatement();
   RecordMetrics(out);
   return out;
+}
+
+void ViewManager::MaybeAuditAfterStatement() {
+  if (!InvariantAuditingEnabled()) return;
+  const uint64_t seq = audit_seq_++;
+  InvariantReport report;
+  AuditStorageLayer(*doc_, *store_, &report);
+  // View audits re-derive the whole view, so they are sampled: each
+  // statement audits every period-th view, rotating so every view is
+  // audited every `period` statements.
+  const size_t period = InvariantAuditSamplePeriod();
+  for (size_t i = 0; i < views_.size(); ++i) {
+    if ((seq + i) % period == 0) AuditViewContent(*views_[i], *store_, &report);
+  }
+  if (!report.ok()) {
+    InvariantAuditFailed(report, "ViewManager::ApplyAndPropagateAll");
+  }
 }
 
 void ViewManager::RecordMetrics(const MultiUpdateOutcome& out) {

@@ -83,6 +83,10 @@ class ViewManager {
   /// Runs fn(0..n-1) over the views, on the pool when workers_ > 1.
   void RunPerView(const std::function<void(size_t)>& fn);
   void RecordMetrics(const MultiUpdateOutcome& out);
+  /// Debug-mode invariant audit (common/invariant.h): when enabled, checks
+  /// the storage layer and sampled view contents after each statement and
+  /// aborts with diagnostics on any violation.
+  void MaybeAuditAfterStatement();
 
   Document* doc_;
   StoreIndex* store_;
@@ -90,6 +94,7 @@ class ViewManager {
   size_t workers_ = 1;
   std::unique_ptr<ThreadPool> pool_;  // lazily created when workers_ > 1
   MetricsRegistry* metrics_ = nullptr;
+  uint64_t audit_seq_ = 0;  // statements audited (rotates view sampling)
 };
 
 }  // namespace xvm

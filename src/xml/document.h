@@ -121,6 +121,11 @@ class Document {
   /// Total serialized size estimate in bytes (for size-targeted generation).
   size_t ApproxSerializedBytes() const { return approx_bytes_; }
 
+  /// Direct mutable access to a node, so tests can inject deliberate
+  /// corruption (e.g. a dangling Dewey parent) and assert the invariant
+  /// auditor (store/audit.h) reports it. Never used by production code.
+  Node& MutableNodeForTesting(NodeHandle h) { return nodes_[h]; }
+
  private:
   NodeHandle NewNode(NodeKind kind, LabelId label, std::string_view text);
   void LinkAsLastChild(NodeHandle parent, NodeHandle child);

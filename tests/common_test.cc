@@ -205,7 +205,7 @@ TEST(ScopedPhaseTest, RecordsElapsed) {
   {
     ScopedPhase phase(&t, "scope");
     volatile int sink = 0;
-    for (int i = 0; i < 1000; ++i) sink += i;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
   }
   EXPECT_GE(t.Get("scope"), 0.0);
   EXPECT_EQ(t.phases().size(), 1u);

@@ -3,12 +3,17 @@
 // equal both the store-backed and the navigational from-scratch
 // evaluations, and the document/store invariants must hold.
 
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "baseline/recompute.h"
+#include "common/invariant.h"
 #include "common/rng.h"
 #include "pattern/compile.h"
+#include "store/audit.h"
 #include "view/maintain.h"
+#include "view/manager.h"
 #include "xml/serializer.h"
 #include "xml/parser.h"
 
@@ -33,10 +38,11 @@ void RandomDocument(Rng* rng, int n, Document* doc) {
   }
 }
 
-/// A random conjunctive pattern of 2-4 nodes over the label alphabet.
-/// Patterns avoid value predicates so updates never trip the conservative
-/// recompute fallback (the fallback path has its own tests).
-TreePattern RandomPattern(Rng* rng) {
+/// A random conjunctive pattern of 2-4 nodes over the label alphabet,
+/// as its DSL text (so identical patterns can be instantiated in several
+/// engines). Patterns avoid value predicates so updates never trip the
+/// conservative recompute fallback (the fallback path has its own tests).
+std::string RandomPatternDsl(Rng* rng) {
   std::string dsl = std::string("//") + kLabels[rng->Uniform(kNumLabels)] +
                     "{id}";
   size_t extra = 1 + rng->Uniform(3);
@@ -61,7 +67,11 @@ TreePattern RandomPattern(Rng* rng) {
     }
   }
   dsl += "(" + child_text + ")";
-  auto p = TreePattern::Parse(dsl);
+  return dsl;
+}
+
+TreePattern RandomPattern(Rng* rng) {
+  auto p = TreePattern::Parse(RandomPatternDsl(rng));
   XVM_CHECK(p.ok());
   return std::move(p).value();
 }
@@ -112,6 +122,9 @@ void ExpectStoreConsistent(const Document& doc, const StoreIndex& store) {
 class FuzzStreamTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(FuzzStreamTest, MaintainedEqualsRecomputedUnderRandomStream) {
+  // The differential run doubles as the invariant auditor's proving ground:
+  // after every statement the maintenance layer re-audits store + view.
+  ScopedInvariantAuditing audit(true);
   Rng rng(static_cast<uint64_t>(GetParam()) * 1299709 + 17);
   Document doc;
   RandomDocument(&rng, 150, &doc);
@@ -164,6 +177,97 @@ TEST_P(FuzzStreamTest, MaintainedEqualsRecomputedUnderRandomStream) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzStreamTest, ::testing::Range(1, 25));
 
+/// The same differential property, but through the multi-worker ViewManager:
+/// a parallel engine and a serial engine follow one random statement stream
+/// over identically-seeded documents and views; after every statement the
+/// engines must agree with each other and with a store-backed recomputation.
+/// Runs with invariant auditing on, so the coordinator's own post-statement
+/// audits (document order, Dewey prefixes, view-vs-recompute) execute under
+/// whatever sanitizer the build was configured with.
+class FuzzParallelManagerTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzParallelManagerTest, ParallelEqualsSerialUnderRandomStream) {
+  ScopedInvariantAuditing audit(true);
+  const uint64_t seed = static_cast<uint64_t>(GetParam()) * 512927377 + 29;
+
+  // Shared configuration drawn once, so both engines see identical views.
+  Rng cfg_rng(seed);
+  std::vector<std::string> pattern_dsls;
+  std::vector<LatticeStrategy> strategies;
+  for (int v = 0; v < 3; ++v) {
+    pattern_dsls.push_back(RandomPatternDsl(&cfg_rng));
+    strategies.push_back(cfg_rng.Chance(1, 2) ? LatticeStrategy::kSnowcaps
+                                              : LatticeStrategy::kLeaves);
+  }
+
+  struct Engine {
+    Engine(uint64_t doc_seed, size_t workers,
+           const std::vector<std::string>& dsls,
+           const std::vector<LatticeStrategy>& strategies)
+        : store(&doc) {
+      Rng doc_rng(doc_seed);
+      RandomDocument(&doc_rng, 120, &doc);
+      store.Build();
+      mgr = std::make_unique<ViewManager>(&doc, &store);
+      mgr->set_workers(workers);
+      for (size_t v = 0; v < dsls.size(); ++v) {
+        auto p = TreePattern::Parse(dsls[v]);
+        XVM_CHECK(p.ok());
+        auto def = ViewDefinition::FromPattern("v" + std::to_string(v),
+                                               std::move(p).value());
+        XVM_CHECK(def.ok());
+        mgr->AddView(std::move(def).value(), strategies[v]);
+      }
+    }
+    Document doc;
+    StoreIndex store;
+    std::unique_ptr<ViewManager> mgr;
+  };
+
+  Engine serial(seed, 1, pattern_dsls, strategies);
+  Engine parallel(seed, 4, pattern_dsls, strategies);
+
+  Rng stream_rng(seed ^ 0x9E3779B97F4A7C15ULL);
+  for (int step = 0; step < 10; ++step) {
+    if (serial.doc.root() == kNullNode) break;
+    UpdateStmt stmt = RandomStatement(&stream_rng);
+    while (serial.doc.num_alive() > 800 &&
+           stmt.kind != UpdateStmt::Kind::kDelete) {
+      stmt = RandomStatement(&stream_rng);
+    }
+    auto so = serial.mgr->ApplyAndPropagateAll(stmt);
+    auto po = parallel.mgr->ApplyAndPropagateAll(stmt);
+    ASSERT_TRUE(so.ok()) << so.status().ToString() << " step " << step;
+    ASSERT_TRUE(po.ok()) << po.status().ToString() << " step " << step;
+    ASSERT_EQ(so->nodes_inserted, po->nodes_inserted) << "step " << step;
+    ASSERT_EQ(so->nodes_deleted, po->nodes_deleted) << "step " << step;
+
+    for (size_t v = 0; v < serial.mgr->size(); ++v) {
+      auto ss = serial.mgr->view(v).view().Snapshot();
+      auto ps = parallel.mgr->view(v).view().Snapshot();
+      ASSERT_EQ(ss.size(), ps.size()) << "view " << v << " step " << step;
+      for (size_t t = 0; t < ss.size(); ++t) {
+        ASSERT_EQ(ss[t].tuple, ps[t].tuple) << "view " << v << " step " << step;
+        ASSERT_EQ(ss[t].count, ps[t].count) << "view " << v << " step " << step;
+      }
+      // Both engines == store-backed ground truth.
+      const TreePattern& pat = parallel.mgr->view(v).def().pattern();
+      auto truth =
+          EvalViewWithCounts(pat, StoreLeafSource(&parallel.store, &pat));
+      ASSERT_EQ(ps.size(), truth.size()) << "view " << v << " step " << step;
+      for (size_t t = 0; t < truth.size(); ++t) {
+        ASSERT_EQ(ps[t].tuple, truth[t].tuple)
+            << "view " << v << " step " << step;
+        ASSERT_EQ(ps[t].count, truth[t].count)
+            << "view " << v << " step " << step;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzParallelManagerTest,
+                         ::testing::Range(1, 13));
+
 /// Serialization survives random mutation streams (parse(serialize(d)) is
 /// structurally identical).
 class FuzzSerializeTest : public ::testing::TestWithParam<int> {};
@@ -180,6 +284,9 @@ TEST_P(FuzzSerializeTest, SerializeParseStableUnderMutation) {
     auto pul = ComputePul(doc, stmt);
     ASSERT_TRUE(pul.ok());
     ApplyPul(&doc, *pul, &store);
+    InvariantReport report;
+    AuditStorageLayer(doc, store, &report);
+    ASSERT_TRUE(report.ok()) << "step " << step << "\n" << report.ToString();
     std::string s1 = SerializeDocument(doc);
     Document reparsed;
     ASSERT_TRUE(ParseDocument(s1, &reparsed).ok());

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/invariant.h"
 #include "pattern/compile.h"
 #include "view/manager.h"
 #include "xmark/generator.h"
@@ -118,6 +119,9 @@ void ExpectMatchesRecompute(const ViewManager& mgr, const StoreIndex& store,
 }
 
 TEST(ManagerParallelStressTest, MixedStreamParallelSerialRecomputeAgree) {
+  // Post-statement invariant audits (store order, Dewey prefixes, sampled
+  // view recomputes) run inside both coordinators for the whole stream.
+  ScopedInvariantAuditing audit(true);
   constexpr uint64_t kSeed = 1234;
   Workbench serial(1, kSeed);
   Workbench parallel(4, kSeed);
@@ -158,6 +162,7 @@ TEST(ManagerParallelStressTest, MixedStreamParallelSerialRecomputeAgree) {
 TEST(ManagerParallelStressTest, WorkerCountSweepIsDeterministic) {
   // The same stream under 1, 2, 4 and 8 workers: all four engines must end
   // bit-identical (worker count is an execution detail, never a semantic).
+  ScopedInvariantAuditing audit(true);
   constexpr uint64_t kSeed = 77;
   std::vector<std::unique_ptr<Workbench>> benches;
   for (size_t w : {1u, 2u, 4u, 8u}) {

@@ -241,7 +241,7 @@ TEST_F(PulTest, PulToAtomicOpsCopiesPayloads) {
   Document payload_src;
   ASSERT_TRUE(ParseDocument("<pp><qq/></pp>", &payload_src).ok());
   pul.inserts.push_back(
-      PulInsertOp{(*nodes)[0], &payload_src, payload_src.root()});
+      PulInsertOp{(*nodes)[0], &payload_src, payload_src.root(), nullptr});
   OpSequence ops = PulToAtomicOps(doc_, pul);
   ASSERT_EQ(ops.size(), 1u);
   EXPECT_EQ(ops[0].kind, AtomicOp::Kind::kInsertInto);

@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""Status-discipline lint for the xvm codebase.
+
+Rules enforced (each violation is reported as file:line: [rule] message,
+exit code 1 if any violation is found):
+
+  nodiscard-decl   src/common/status.h must declare both Status and StatusOr
+                   as [[nodiscard]] so the compiler flags dropped returns.
+  dropped-status   A call to a Status/StatusOr-returning function must not be
+                   a bare expression statement (its result would be silently
+                   dropped). The set of such functions is harvested from
+                   every declaration/definition in the tree, so the sweep
+                   also covers code compiled out by the current
+                   configuration.
+  void-discard     Explicitly discarding a Status with `(void)` or
+                   `static_cast<void>` is forbidden: handle the status or
+                   propagate it. A deliberate, justified discard must carry
+                   `// NOLINT(xvm-status): <reason>` on the same line.
+
+The lint is textual by design: it has no compiler dependency, runs in
+milliseconds as a ctest test, and catches the discard patterns that
+-Wunused-result cannot see (e.g. calls in configurations that are not being
+compiled). `// NOLINT(xvm-status)` on the offending line suppresses any rule.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+SUPPRESS = "NOLINT(xvm-status)"
+
+# Functions whose *name* returns Status/StatusOr but that the sweep must not
+# treat as droppable calls (constructors of the types themselves).
+NON_FUNCTIONS = {"Status", "StatusOr"}
+
+DECL_RE = re.compile(
+    r"\b(?:virtual\s+|static\s+|inline\s+|friend\s+|constexpr\s+)*"
+    r"(?:Status|StatusOr<[^;{}()=]*>)\s+"
+    r"(?:\w+::)*(\w+)\s*\("
+)
+
+CALL_HEAD_RE = re.compile(r"(?:\w+(?:::|\.|->))*(\w+)\s*\(")
+
+KEYWORDS_BEFORE_USE = {
+    "return", "co_return", "co_await", "case", "goto", "new", "delete",
+    "throw", "sizeof", "if", "while", "for", "switch", "do", "else",
+}
+# `if`/`while`/... before the call still drop the value, but they appear as
+# the word before only in `do Foo();` style code which does not occur;
+# control-flow statements are detected through the `)` boundary instead.
+KEYWORDS_DROPPING = {"if", "else", "do", "for", "while", "switch"}
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments, string and char literals, preserving newlines and
+    column positions, so regexes never match inside them."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def blank_preprocessor_lines(code):
+    lines = code.split("\n")
+    for k, line in enumerate(lines):
+        if line.lstrip().startswith("#"):
+            lines[k] = " " * len(line)
+    return "\n".join(lines)
+
+
+def iter_source_files(root):
+    for d in SCAN_DIRS:
+        base = os.path.join(root, d)
+        for dirpath, _, filenames in os.walk(base):
+            for f in sorted(filenames):
+                if f.endswith((".h", ".cc")):
+                    yield os.path.join(dirpath, f)
+
+
+def harvest_status_functions(files_code):
+    fns = set()
+    for _, code in files_code.items():
+        for m in DECL_RE.finditer(code):
+            name = m.group(1)
+            if name not in NON_FUNCTIONS and not name.startswith("operator"):
+                fns.add(name)
+    return fns
+
+
+def matching_paren_end(code, open_idx):
+    """Index just past the `)` matching code[open_idx] == '(', or -1."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def prev_significant(code, idx):
+    """(char, end_index) of the last non-whitespace char before idx."""
+    i = idx - 1
+    while i >= 0 and code[i].isspace():
+        i -= 1
+    return (code[i] if i >= 0 else "", i)
+
+
+def word_ending_at(code, idx):
+    """The identifier whose last char is code[idx], or ''."""
+    if idx < 0 or not (code[idx].isalnum() or code[idx] == "_"):
+        return ""
+    j = idx
+    while j >= 0 and (code[j].isalnum() or code[j] == "_"):
+        j -= 1
+    return code[j + 1 : idx + 1]
+
+
+def line_of(code, idx):
+    return code.count("\n", 0, idx) + 1
+
+
+def check_nodiscard_decl(root, violations):
+    path = os.path.join(root, "src", "common", "status.h")
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        violations.append((path, 1, "nodiscard-decl", "cannot read status.h"))
+        return
+    for cls in ("Status", "StatusOr"):
+        if not re.search(
+            r"class\s+\[\[nodiscard\]\]\s+" + cls + r"\b", text
+        ):
+            violations.append(
+                (path, 1, "nodiscard-decl",
+                 f"class {cls} is not declared [[nodiscard]]")
+            )
+
+
+def sweep_file(path, code, raw_lines, status_fns, violations):
+    for m in CALL_HEAD_RE.finditer(code):
+        name = m.group(1)
+        if name not in status_fns:
+            continue
+        open_idx = code.index("(", m.end() - 1)
+        end = matching_paren_end(code, open_idx)
+        if end < 0 or end >= len(code):
+            continue
+        # The call's value is consumed unless the statement ends right after.
+        after = code[end:].lstrip()
+        if not after.startswith(";"):
+            continue
+        lineno = line_of(code, m.start())
+        raw_line = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+        if SUPPRESS in raw_line:
+            continue
+        prev_char, prev_idx = prev_significant(code, m.start())
+        prev_word = word_ending_at(code, prev_idx)
+        if prev_word in KEYWORDS_BEFORE_USE and prev_word not in KEYWORDS_DROPPING:
+            continue  # e.g. `return Foo(...);`
+        if prev_char in ";{}" or prev_word in KEYWORDS_DROPPING:
+            violations.append(
+                (path, lineno, "dropped-status",
+                 f"result of Status-returning call '{name}(...)' is dropped")
+            )
+        elif prev_char == ")":
+            # Either a control-flow header `if (...) Foo();` (a drop) or a
+            # cast `(void)Foo();` (an explicit discard — also forbidden).
+            seg = code[max(0, prev_idx - 24) : prev_idx + 1]
+            if re.search(r"\(\s*void\s*\)$", seg):
+                violations.append(
+                    (path, lineno, "void-discard",
+                     f"'(void){name}(...)' discards a Status; handle or "
+                     f"propagate it (NOLINT(xvm-status) if truly deliberate)")
+                )
+            else:
+                violations.append(
+                    (path, lineno, "dropped-status",
+                     f"result of Status-returning call '{name}(...)' is "
+                     f"dropped")
+                )
+        elif prev_char == ">":
+            seg = code[max(0, prev_idx - 40) : prev_idx + 1]
+            if re.search(r"static_cast\s*<\s*void\s*>$", seg):
+                violations.append(
+                    (path, lineno, "void-discard",
+                     f"'static_cast<void>({name}(...))' discards a Status")
+                )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (contains src/, tests/, ...)")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+
+    files_code = {}
+    files_raw = {}
+    for path in iter_source_files(root):
+        try:
+            with open(path, encoding="utf-8") as f:
+                raw = f.read()
+        except OSError as e:
+            print(f"{path}: unreadable: {e}", file=sys.stderr)
+            return 2
+        files_raw[path] = raw.split("\n")
+        files_code[path] = blank_preprocessor_lines(
+            strip_comments_and_strings(raw))
+
+    status_fns = harvest_status_functions(files_code)
+
+    violations = []
+    check_nodiscard_decl(root, violations)
+    for path, code in files_code.items():
+        sweep_file(path, code, files_raw[path], status_fns, violations)
+
+    for path, lineno, rule, msg in sorted(violations):
+        rel = os.path.relpath(path, root)
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    if violations:
+        print(f"lint_status: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"lint_status: OK ({len(files_code)} files, "
+          f"{len(status_fns)} Status-returning functions)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
