@@ -1,0 +1,116 @@
+// Cached vs. uncached val/cont access (fig. 26 spirit: the repeated-work
+// knob). The canonical relations are virtual, so every scan re-derives val
+// (subtree text concatenation) and cont (subtree serialization); the
+// delta-aware cache in StoreIndex memoizes both and invalidates precisely
+// from update deltas. Each benchmark runs the same workload with the cache
+// forced on and forced off — the /cache:1 vs /cache:0 rows are the
+// comparison, and the cache's own hit/miss counters are exported as
+// benchmark counters.
+
+#include <benchmark/benchmark.h>
+
+#include "pattern/compile.h"
+#include "update/update.h"
+#include "view/manager.h"
+#include "xmark/generator.h"
+#include "xmark/updates.h"
+#include "xmark/views.h"
+
+namespace xvm {
+namespace {
+
+void ExportCacheCounters(benchmark::State& state, const StoreIndex& store) {
+  const ValContCache::Stats st = store.cache().stats();
+  state.counters["hits"] = static_cast<double>(st.hits);
+  state.counters["misses"] = static_cast<double>(st.misses);
+  state.counters["invalidations"] = static_cast<double>(st.invalidations);
+}
+
+/// Repeated full evaluation of a cont-carrying view (Q1 materializes name
+/// payloads): every iteration after the first re-reads the same subtrees,
+/// the case the cache exists for.
+void BM_RepeatedViewEval(benchmark::State& state) {
+  const bool cache_on = state.range(0) != 0;
+  Document doc;
+  GenerateXMark(XMarkConfig{256 * 1024, 7}, &doc);
+  StoreIndex store(&doc);
+  store.cache().set_enabled(cache_on);
+  store.Build();
+  auto def = XMarkView("Q1");
+  const TreePattern& pat = def->pattern();
+  for (auto _ : state) {
+    auto result = EvalViewWithCounts(pat, StoreLeafSource(&store, &pat));
+    benchmark::DoNotOptimize(result);
+  }
+  ExportCacheCounters(state, store);
+}
+BENCHMARK(BM_RepeatedViewEval)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("cache")
+    ->Unit(benchmark::kMillisecond);
+
+/// Multi-view maintenance stream: nine views over one store, a mixed
+/// insert/delete stream. Each statement's propagation re-reads val/cont of
+/// overlapping leaf relations across the views — hits for all views after
+/// the first, minus what the deltas invalidate.
+void BM_MultiViewMaintenance(benchmark::State& state) {
+  const bool cache_on = state.range(0) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Document doc;
+    GenerateXMark(XMarkConfig{128 * 1024, 7}, &doc);
+    StoreIndex store(&doc);
+    store.cache().set_enabled(cache_on);
+    store.Build();
+    ViewManager mgr(&doc, &store);
+    size_t i = 0;
+    for (const std::string& name : XMarkViewNames()) {
+      auto def = XMarkView(name);
+      mgr.AddView(std::move(def).value(),
+                  (i++ % 2 == 0) ? LatticeStrategy::kSnowcaps
+                                 : LatticeStrategy::kLeaves);
+    }
+    state.ResumeTiming();
+    for (const char* uname : {"X1_L", "A7_O", "B7_LB"}) {
+      auto u = FindXMarkUpdate(uname);
+      benchmark::DoNotOptimize(mgr.ApplyAndPropagateAll(MakeInsertStmt(*u)));
+      benchmark::DoNotOptimize(mgr.ApplyAndPropagateAll(MakeDeleteStmt(*u)));
+    }
+    state.PauseTiming();
+    ExportCacheCounters(state, store);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_MultiViewMaintenance)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("cache")
+    ->Unit(benchmark::kMillisecond);
+
+/// The raw accessor, against one hot subtree: upper bound of the win.
+void BM_ContAccessHotSubtree(benchmark::State& state) {
+  const bool cache_on = state.range(0) != 0;
+  Document doc;
+  GenerateXMark(XMarkConfig{256 * 1024, 7}, &doc);
+  StoreIndex store(&doc);
+  store.cache().set_enabled(cache_on);
+  store.Build();
+  const NodeHandle root = doc.root();
+  // One miss fills the entry; with the cache off every read re-serializes
+  // the whole document.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Cont(root));
+  }
+  ExportCacheCounters(state, store);
+}
+BENCHMARK(BM_ContAccessHotSubtree)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("cache")
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace xvm
+
+BENCHMARK_MAIN();

@@ -5,11 +5,15 @@
 #   2. clang-tidy over src/ (skipped with a notice when not installed).
 #   3. ASan+UBSan build (-DXVM_SANITIZE=address) + full ctest run.
 #   4. TSan build (-DXVM_SANITIZE=thread) + full ctest run.
+#   5. TSan re-run of the val/cont cache stress test with the cache forced
+#      on (XVM_CONT_CACHE=1), so the striped-lock cache is raced by the
+#      parallel ViewManager regardless of the build's compiled default.
 #
-# Both sanitized runs execute with the invariant auditor enabled
+# All sanitized runs execute with the invariant auditor enabled
 # (XVM_CHECK_INVARIANTS=1): after every applied statement the maintenance
 # layer re-validates store document order, Dewey parent/prefix consistency,
-# label-dictionary bijectivity and (sampled) view-vs-recompute equality.
+# label-dictionary bijectivity, every live val/cont cache entry against
+# fresh recomputation, and (sampled) view-vs-recompute equality.
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast   reuse existing build trees without reconfiguring
@@ -60,5 +64,10 @@ run_config() {
 
 run_config address build-asan
 run_config thread build-tsan
+
+step "cache stress (thread sanitizer, cache forced on)"
+XVM_CHECK_INVARIANTS=1 XVM_CONT_CACHE=1 \
+  ctest --test-dir build-tsan -R 'StoreCacheStress|PersistTest.Fuzz' \
+        --output-on-failure -j "$JOBS"
 
 step "all checks passed"

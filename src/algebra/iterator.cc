@@ -27,8 +27,8 @@ class RelationScanIt : public TupleIterator {
     const Document& doc = store_->doc();
     out->clear();
     out->emplace_back(doc.node(h).id);
-    if (attrs_.val) out->emplace_back(doc.StringValue(h));
-    if (attrs_.cont) out->emplace_back(doc.Content(h));
+    if (attrs_.val) out->emplace_back(store_->Val(h));
+    if (attrs_.cont) out->emplace_back(store_->Cont(h));
     return true;
   }
 

@@ -20,8 +20,10 @@ Relation ScanRelation(const StoreIndex& store, LabelId label,
   for (NodeHandle h : rel.nodes()) {
     Tuple t;
     t.emplace_back(doc.node(h).id);
-    if (attrs.val) t.emplace_back(doc.StringValue(h));
-    if (attrs.cont) t.emplace_back(doc.Content(h));
+    // store.Val/Cont serve the delta-aware cache (dead nodes — present in
+    // the pre-roll-forward relation during delete propagation — bypass it).
+    if (attrs.val) t.emplace_back(store.Val(h));
+    if (attrs.cont) t.emplace_back(store.Cont(h));
     out.rows.push_back(std::move(t));
   }
   return out;

@@ -301,6 +301,7 @@ ApplyResult ApplyAtomicOps(Document* doc, const OpSequence& ops,
       std::unique(result.insert_target_ids.begin(),
                   result.insert_target_ids.end()),
       result.insert_target_ids.end());
+  if (store != nullptr) InvalidateStoreValCont(store, result);
   return result;
 }
 

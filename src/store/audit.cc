@@ -142,11 +142,34 @@ void AuditStoreIndex(const Document& doc, const StoreIndex& store,
   }
 }
 
+void AuditValContCache(const Document& doc, const StoreIndex& store,
+                       InvariantReport* report) {
+  for (const ValContCache::AuditEntry& e : store.cache().SnapshotForAudit()) {
+    const NodeHandle h = e.node;
+    if (!doc.IsAlive(h)) {
+      report->Add("cache.alive",
+                  "cache holds an entry for dead node#" + std::to_string(h));
+      continue;
+    }
+    if (e.has_val && e.val != doc.StringValue(h)) {
+      report->Add("cache.val", "stale cached val for " + NodeDesc(doc, h) +
+                                   ": cached '" + e.val + "' vs fresh '" +
+                                   doc.StringValue(h) + "'");
+    }
+    if (e.has_cont && e.cont != doc.Content(h)) {
+      report->Add("cache.cont", "stale cached cont for " + NodeDesc(doc, h) +
+                                    ": cached '" + e.cont + "' vs fresh '" +
+                                    doc.Content(h) + "'");
+    }
+  }
+}
+
 void AuditStorageLayer(const Document& doc, const StoreIndex& store,
                        InvariantReport* report) {
   AuditLabelDict(doc.dict(), report);
   AuditDocument(doc, report);
   AuditStoreIndex(doc, store, report);
+  AuditValContCache(doc, store, report);
 }
 
 }  // namespace xvm

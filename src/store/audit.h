@@ -36,7 +36,16 @@ void AuditDocument(const Document& doc, InvariantReport* report);
 void AuditStoreIndex(const Document& doc, const StoreIndex& store,
                      InvariantReport* report);
 
-/// All three storage-layer audits in one call.
+/// val/cont cache consistency against the document: every live entry must
+/// reference an alive node ("cache.alive" — deleted nodes' entries are
+/// erased by delta invalidation, and Val/Cont never cache dead nodes), and
+/// each cached payload must equal a fresh recomputation from the current
+/// document ("cache.val", "cache.cont") — i.e. delta invalidation dropped
+/// every entry whose subtree changed.
+void AuditValContCache(const Document& doc, const StoreIndex& store,
+                       InvariantReport* report);
+
+/// All storage-layer audits in one call.
 void AuditStorageLayer(const Document& doc, const StoreIndex& store,
                        InvariantReport* report);
 

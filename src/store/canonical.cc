@@ -10,6 +10,9 @@ const CanonicalRelation StoreIndex::kEmpty;
 
 void StoreIndex::Build() {
   relations_.clear();
+  // A rebuild means the document may be in an arbitrary new state; nothing
+  // cached before it can be trusted.
+  cache_.Clear();
   // AllNodes() is already in document order, so plain appends keep each
   // relation sorted.
   for (NodeHandle h : doc_->AllNodes()) {
@@ -32,12 +35,52 @@ void StoreIndex::OnNodesAdded(const std::vector<NodeHandle>& added) {
 
 void StoreIndex::OnNodesRemoved(const std::vector<NodeHandle>& removed) {
   for (NodeHandle h : removed) {
+    cache_.Erase(h);
     auto it = relations_.find(doc_->node(h).label);
     if (it == relations_.end()) continue;
     auto& vec = it->second.nodes_;
     auto pos = std::find(vec.begin(), vec.end(), h);
     if (pos != vec.end()) vec.erase(pos);
   }
+}
+
+std::string StoreIndex::Val(NodeHandle h) const {
+  if (!cache_.enabled() || !doc_->IsAlive(h)) return doc_->StringValue(h);
+  std::string out;
+  if (cache_.Lookup(h, ValContCache::Kind::kVal, &out)) return out;
+  out = doc_->StringValue(h);
+  cache_.Insert(h, ValContCache::Kind::kVal, out);
+  return out;
+}
+
+std::string StoreIndex::Cont(NodeHandle h) const {
+  if (!cache_.enabled() || !doc_->IsAlive(h)) return doc_->Content(h);
+  std::string out;
+  if (cache_.Lookup(h, ValContCache::Kind::kCont, &out)) return out;
+  out = doc_->Content(h);
+  cache_.Insert(h, ValContCache::Kind::kCont, out);
+  return out;
+}
+
+void StoreIndex::InvalidateValContUpward(const DeweyId& id) {
+  NodeHandle h = doc_->FindById(id);
+  if (h != kNullNode) {
+    // Alive anchor: parent links give the ancestor chain directly.
+    for (NodeHandle cur = h; cur != kNullNode; cur = doc_->node(cur).parent) {
+      cache_.Erase(cur);
+    }
+    return;
+  }
+  // The node itself is gone (deleted subtree root); its surviving ancestors
+  // are found by resolving each Dewey prefix.
+  for (DeweyId cur = id.Parent(); !cur.empty(); cur = cur.Parent()) {
+    NodeHandle anc = doc_->FindById(cur);
+    if (anc != kNullNode) cache_.Erase(anc);
+  }
+}
+
+void StoreIndex::EraseValCont(const std::vector<NodeHandle>& nodes) {
+  for (NodeHandle h : nodes) cache_.Erase(h);
 }
 
 const CanonicalRelation& StoreIndex::Relation(LabelId label) const {

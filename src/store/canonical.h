@@ -1,9 +1,11 @@
 #ifndef XVM_STORE_CANONICAL_H_
 #define XVM_STORE_CANONICAL_H_
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "store/valcont_cache.h"
 #include "xml/document.h"
 
 namespace xvm {
@@ -51,6 +53,28 @@ class StoreIndex {
   /// The relation for `label`; an empty static relation if absent.
   const CanonicalRelation& Relation(LabelId label) const;
 
+  /// `val` of a tuple: the node's XPath string value, served from the
+  /// delta-aware cache when enabled. Dead nodes bypass the cache entirely
+  /// (delete propagation scans them before σ_alive filters), so the cache
+  /// only ever holds payloads of live nodes. Returns by value: a reference
+  /// into the cache could be evicted under a concurrent reader.
+  std::string Val(NodeHandle h) const;
+
+  /// `cont` of a tuple: the serialized subtree, same caching contract.
+  std::string Cont(NodeHandle h) const;
+
+  /// Invalidates the cache entry of the node with structural ID `id` (if it
+  /// still resolves) and of every ancestor, whose val/cont embed the changed
+  /// subtree. Uses parent links when the node is alive and the Dewey
+  /// Parent() chain when it is not (deleted roots no longer resolve).
+  void InvalidateValContUpward(const DeweyId& id);
+
+  /// Drops the cache entries of the given (typically deleted) nodes.
+  void EraseValCont(const std::vector<NodeHandle>& nodes);
+
+  ValContCache& cache() { return cache_; }
+  const ValContCache& cache() const { return cache_; }
+
   const Document& doc() const { return *doc_; }
 
   /// Sum of relation sizes (diagnostics).
@@ -67,6 +91,9 @@ class StoreIndex {
  private:
   const Document* doc_;
   std::unordered_map<LabelId, CanonicalRelation> relations_;
+  /// val/cont memoization; mutable because cache fills happen on the const
+  /// read path (Val/Cont), and ValContCache is internally synchronized.
+  mutable ValContCache cache_;
   static const CanonicalRelation kEmpty;
 };
 

@@ -125,8 +125,24 @@ ApplyResult ApplyPul(Document* doc, const Pul& pul, StoreIndex* store) {
   if (store != nullptr) {
     store->OnNodesRemoved(result.deleted_nodes);
     store->OnNodesAdded(result.inserted_nodes);
+    InvalidateStoreValCont(store, result);
   }
   return result;
+}
+
+void InvalidateStoreValCont(StoreIndex* store, const ApplyResult& applied) {
+  if (store == nullptr) return;
+  // Deleted nodes can never serve cached payloads again (handles are not
+  // reused), but their entries still count against the byte budget.
+  store->EraseValCont(applied.deleted_nodes);
+  // Freshly inserted nodes have fresh handles, so they cannot alias stale
+  // entries; only the anchors' ancestor chains hold embedding payloads.
+  for (const DeweyId& id : applied.insert_target_ids) {
+    store->InvalidateValContUpward(id);
+  }
+  for (const DeweyId& id : applied.delete_root_ids) {
+    store->InvalidateValContUpward(id);
+  }
 }
 
 }  // namespace xvm

@@ -98,9 +98,20 @@ struct ApplyResult {
 /// apply-insert / apply-delete (paper §3.4): executes the PUL against `doc`,
 /// assigning fresh structural IDs to copied nodes. If `store` is non-null,
 /// its canonical relations are maintained as part of the update (the paper
-/// assumes R_l upkeep is "part of the update process itself", Prop. 3.15).
-/// Deletions skip targets already removed by an earlier op in the same PUL.
+/// assumes R_l upkeep is "part of the update process itself", Prop. 3.15),
+/// including val/cont cache invalidation. Deletions skip targets already
+/// removed by an earlier op in the same PUL.
 ApplyResult ApplyPul(Document* doc, const Pul& pul, StoreIndex* store);
+
+/// Invalidates the store's val/cont cache for one applied update: drops the
+/// entries of every deleted node, then walks up from each Δ anchor — every
+/// insert-target ID and every deleted subtree root's parent chain — erasing
+/// cached ancestors, whose val/cont embed the changed subtrees. The
+/// maintenance flows apply the PUL with store == nullptr and roll the
+/// relations forward only after propagation, but the cache is defined
+/// against the *current* document, so they must call this immediately after
+/// ApplyPul mutates the document. No-op if `store` is null.
+void InvalidateStoreValCont(StoreIndex* store, const ApplyResult& applied);
 
 }  // namespace xvm
 

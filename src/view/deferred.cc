@@ -21,9 +21,13 @@ Status DeferredView::Apply(const UpdateStmt& stmt) {
     std::set<LabelId> needs = inner_.DeltaMinusValLabelIds();
     pending.deltas = ComputeDeltaMinus(*doc_, pul, &timing_, &needs);
     ApplyResult applied = ApplyPul(doc_, pul, nullptr);
+    // Store roll-forward is deferred to Flush(), but the document just
+    // changed — the val/cont cache must drop the affected entries now.
+    InvalidateStoreValCont(store_, applied);
     pending.deleted_nodes = std::move(applied.deleted_nodes);
   } else {
     ApplyResult applied = ApplyPul(doc_, pul, nullptr);
+    InvalidateStoreValCont(store_, applied);
     DeltaNeeds needs = inner_.DeltaPlusNeeds();
     pending.deltas = ComputeDeltaPlus(*doc_, applied, &timing_, &needs);
     pending.inserted_nodes = std::move(applied.inserted_nodes);

@@ -434,11 +434,14 @@ void MaintainedView::RunPimt(const DeltaTables& delta,
       if (!AnyAnchorAtOrBelow(anchors, id)) continue;
       NodeHandle h = doc.FindById(id);
       if (h == kNullNode) continue;
+      // store_->Val/Cont: the anchors were invalidated right after the PUL
+      // applied, so this recomputes once and the other views' PIMT passes
+      // over the same node hit the cache.
       if (l.val_col >= 0) {
-        (*t)[static_cast<size_t>(l.val_col)] = Value(doc.StringValue(h));
+        (*t)[static_cast<size_t>(l.val_col)] = Value(store_->Val(h));
       }
       if (l.cont_col >= 0) {
-        (*t)[static_cast<size_t>(l.cont_col)] = Value(doc.Content(h));
+        (*t)[static_cast<size_t>(l.cont_col)] = Value(store_->Cont(h));
       }
       changed = true;
     }
@@ -462,10 +465,10 @@ void MaintainedView::RunPdmt(const DeletedRegion& region,
       NodeHandle h = doc.FindById(id);
       if (h == kNullNode) continue;
       if (l.val_col >= 0) {
-        (*t)[static_cast<size_t>(l.val_col)] = Value(doc.StringValue(h));
+        (*t)[static_cast<size_t>(l.val_col)] = Value(store_->Val(h));
       }
       if (l.cont_col >= 0) {
-        (*t)[static_cast<size_t>(l.cont_col)] = Value(doc.Content(h));
+        (*t)[static_cast<size_t>(l.cont_col)] = Value(store_->Cont(h));
       }
       changed = true;
     }
@@ -488,6 +491,10 @@ StatusOr<UpdateOutcome> MaintainedView::ApplyAndPropagate(
     dm = ComputeDeltaMinus(*doc, pul, &out.timing, &needs);
   }
   ApplyResult applied = ApplyPul(doc, pul, nullptr);
+  // The relations roll forward only after propagation (so the scans read the
+  // old R_l), but the val/cont cache is defined against the *current*
+  // document — invalidate before anything reads through it.
+  InvalidateStoreValCont(store_, applied);
   out.nodes_deleted = applied.deleted_nodes.size();
   out.nodes_inserted = applied.inserted_nodes.size();
   DeltaTables dp;
@@ -530,6 +537,7 @@ StatusOr<UpdateOutcome> MaintainedView::ApplyOpsAndPropagate(
   DeltaTables dm = ComputeDeltaMinus(*doc, del_pul, &out.timing, &needs);
 
   ApplyResult applied = ApplyAtomicOps(doc, ops, nullptr);
+  InvalidateStoreValCont(store_, applied);
   out.nodes_deleted = applied.deleted_nodes.size();
   out.nodes_inserted = applied.inserted_nodes.size();
   DeltaNeeds plus_needs = DeltaPlusNeeds();

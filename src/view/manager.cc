@@ -72,6 +72,10 @@ StatusOr<MultiUpdateOutcome> ViewManager::ApplyAndPropagateAll(
     plan.region = DeletedRegion(plan.delta_minus.anchor_ids());
   }
   ApplyResult applied = ApplyPul(doc_, pul, nullptr);
+  // The store rolls forward after the fan-out, but the val/cont cache is
+  // defined against the current document — invalidate before any worker
+  // reads through it.
+  InvalidateStoreValCont(store_, applied);
   if (!pul.inserts.empty()) {
     DeltaNeeds needs;
     for (const auto& v : views_) needs.MergeFrom(v->DeltaPlusNeeds());
@@ -170,6 +174,22 @@ void ViewManager::RecordMetrics(const MultiUpdateOutcome& out) {
                        static_cast<int64_t>(out.nodes_inserted));
   metrics_->AddCounter(kSharedMetricsView, "nodes_deleted",
                        static_cast<int64_t>(out.nodes_deleted));
+
+  // Store-level cache counters: the cache keeps monotonic totals, so report
+  // the delta since the previous statement under the __store__ pseudo-view.
+  const ValContCache::Stats now = store_->cache().stats();
+  metrics_->AddCounter(kStoreMetricsView, "cache_hits",
+                       static_cast<int64_t>(now.hits - last_cache_stats_.hits));
+  metrics_->AddCounter(
+      kStoreMetricsView, "cache_misses",
+      static_cast<int64_t>(now.misses - last_cache_stats_.misses));
+  metrics_->AddCounter(kStoreMetricsView, "cache_invalidations",
+                       static_cast<int64_t>(now.invalidations -
+                                            last_cache_stats_.invalidations));
+  metrics_->AddCounter(
+      kStoreMetricsView, "cache_evictions",
+      static_cast<int64_t>(now.evictions - last_cache_stats_.evictions));
+  last_cache_stats_ = now;
 }
 
 }  // namespace xvm

@@ -30,6 +30,12 @@ struct BatchedDeltaPlan {
 /// work to a MetricsRegistry.
 inline constexpr char kSharedMetricsView[] = "__shared__";
 
+/// Pseudo-view name under which the coordinator reports store-level val/cont
+/// cache counters (cache_hits / cache_misses / cache_invalidations /
+/// cache_evictions), published as per-statement deltas of the cache's
+/// monotonic totals.
+inline constexpr char kStoreMetricsView[] = "__store__";
+
 /// Coordinates several materialized views over one document/store: the
 /// paper's "context where several views are materialized" (§3.5). A
 /// statement is located and applied to the document exactly once; the Δ
@@ -95,6 +101,9 @@ class ViewManager {
   std::unique_ptr<ThreadPool> pool_;  // lazily created when workers_ > 1
   MetricsRegistry* metrics_ = nullptr;
   uint64_t audit_seq_ = 0;  // statements audited (rotates view sampling)
+  /// Cache totals at the previous RecordMetrics, so each statement reports
+  /// only its own delta.
+  ValContCache::Stats last_cache_stats_;
 };
 
 }  // namespace xvm

@@ -10,7 +10,23 @@ namespace xvm {
 
 namespace {
 
-constexpr char kMagic[] = "XVM1";
+constexpr char kMagic[] = "XVM2";
+/// Bumped with any layout change; readers reject unknown versions instead of
+/// misparsing them.
+constexpr uint64_t kFormatVersion = 2;
+constexpr size_t kChecksumBytes = 8;
+
+/// FNV-1a 64-bit over the whole prefix of the file (magic, version and
+/// payload). Appended as 8 little-endian trailing bytes so truncated or
+/// bit-flipped save files fail loudly instead of loading a corrupt view.
+uint64_t Fnv1a64(const char* data, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
 
 void PutString(std::string* out, const std::string& s) {
   PutVarint64(out, s.size());
@@ -49,6 +65,7 @@ bool GetTuple(const std::string& data, size_t* pos, Tuple* t) {
 std::string SaveViewToBytes(const MaintainedView& view) {
   std::string out;
   out.append(kMagic);
+  PutVarint64(&out, kFormatVersion);
   PutString(&out, view.def().name());
   PutString(&out, view.def().pattern().ToString());
 
@@ -69,6 +86,11 @@ std::string SaveViewToBytes(const MaintainedView& view) {
     PutVarint64(&out, sc.data.rows.size());
     for (const auto& row : sc.data.rows) PutTuple(&out, row);
   }
+
+  const uint64_t sum = Fnv1a64(out.data(), out.size());
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((sum >> (8 * i)) & 0xFF));
+  }
   return out;
 }
 
@@ -78,6 +100,31 @@ Status LoadViewFromBytes(const std::string& bytes, MaintainedView* view) {
     return Status::InvalidArgument("bad magic: not a saved xvm view");
   }
   pos = 4;
+  // Verify the content checksum before parsing anything: truncation and
+  // bit flips anywhere in the file (including inside varints, which would
+  // otherwise misparse "plausibly") are rejected up front.
+  if (bytes.size() < pos + kChecksumBytes) {
+    return Status::InvalidArgument("truncated view file: missing checksum");
+  }
+  const size_t payload_end = bytes.size() - kChecksumBytes;
+  uint64_t stored_sum = 0;
+  for (size_t i = 0; i < kChecksumBytes; ++i) {
+    stored_sum |= static_cast<uint64_t>(
+                      static_cast<unsigned char>(bytes[payload_end + i]))
+                  << (8 * i);
+  }
+  if (Fnv1a64(bytes.data(), payload_end) != stored_sum) {
+    return Status::InvalidArgument(
+        "view file checksum mismatch: truncated or corrupted");
+  }
+  uint64_t version = 0;
+  if (!GetVarint64(bytes, &pos, &version)) {
+    return Status::InvalidArgument("truncated view header");
+  }
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported view format version " +
+                                   std::to_string(version));
+  }
   std::string name, pattern_dsl;
   if (!GetString(bytes, &pos, &name) || !GetString(bytes, &pos, &pattern_dsl)) {
     return Status::InvalidArgument("truncated view header");
@@ -158,7 +205,7 @@ Status LoadViewFromBytes(const std::string& bytes, MaintainedView* view) {
       loaded[s].rows.push_back(std::move(t));
     }
   }
-  if (pos != bytes.size()) {
+  if (pos != payload_end) {
     return Status::InvalidArgument("trailing bytes after saved view");
   }
 

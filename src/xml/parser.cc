@@ -121,8 +121,26 @@ class Parser {
         base = 16;
         digits = digits.substr(1);
       }
-      long code = std::strtol(std::string(digits).c_str(), nullptr, base);
-      if (code <= 0 || code > 0x10FFFF) return Err("bad character reference");
+      // Parse the digits by hand: strtol would silently stop at the first
+      // non-digit ("&#12abc;" decoded as 12) and cannot distinguish "no
+      // digits at all" from code point 0.
+      if (digits.empty()) return Err("bad character reference");
+      long code = 0;
+      for (char c : digits) {
+        int d;
+        if (c >= '0' && c <= '9') d = c - '0';
+        else if (base == 16 && c >= 'a' && c <= 'f') d = c - 'a' + 10;
+        else if (base == 16 && c >= 'A' && c <= 'F') d = c - 'A' + 10;
+        else return Err("bad character reference");
+        code = code * base + d;
+        if (code > 0x10FFFF) return Err("bad character reference");
+      }
+      if (code <= 0) return Err("bad character reference");
+      if (code >= 0xD800 && code <= 0xDFFF) {
+        // Surrogates are not characters; encoding them would produce
+        // invalid UTF-8 (CESU-8).
+        return Err("bad character reference");
+      }
       // Minimal UTF-8 encoding.
       if (code < 0x80) {
         *out += static_cast<char>(code);

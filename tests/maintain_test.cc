@@ -30,6 +30,45 @@ void ExpectViewEquals(const MaterializedView& view,
   }
 }
 
+// DeletedRegion::Covers boundary cases: the upper_bound probe must treat a
+// root itself as covered, cover descendants of the *last* root (where
+// upper_bound lands at end()), and not cover the sibling immediately after
+// a root (the first ID past the root's contiguous subtree range).
+TEST(DeletedRegionTest, CoversBoundaries) {
+  Document doc;
+  ASSERT_TRUE(
+      ParseDocument("<r><a><b/><c/></a><d><e/></d><f/></r>", &doc).ok());
+  auto id = [&doc](NodeHandle h) { return doc.node(h).id; };
+  auto kids = doc.Children(doc.root());
+  ASSERT_EQ(kids.size(), 3u);
+  const NodeHandle a = kids[0], d = kids[1], f = kids[2];
+  const NodeHandle b = doc.Children(a)[0], c = doc.Children(a)[1];
+  const NodeHandle e = doc.Children(d)[0];
+
+  const DeletedRegion empty(std::vector<DeweyId>{});
+  EXPECT_FALSE(empty.Covers(id(a)));
+  EXPECT_FALSE(empty.Covers(id(doc.root())));
+
+  const DeletedRegion region({id(a), id(d)});
+  // A root covers itself…
+  EXPECT_TRUE(region.Covers(id(a)));
+  EXPECT_TRUE(region.Covers(id(d)));
+  // …and its descendants, including under the LAST root (upper_bound ==
+  // end() there, which a naive probe mishandles).
+  EXPECT_TRUE(region.Covers(id(b)));
+  EXPECT_TRUE(region.Covers(id(c)));
+  EXPECT_TRUE(region.Covers(id(e)));
+  // The sibling just past a root sorts after the root but is not covered.
+  EXPECT_FALSE(region.Covers(id(f)));
+  // Ancestors of roots and IDs before the first root are not covered.
+  EXPECT_FALSE(region.Covers(id(doc.root())));
+  const DeletedRegion late({id(d)});
+  EXPECT_FALSE(late.Covers(id(a)));
+  EXPECT_FALSE(late.Covers(id(b)));
+  EXPECT_TRUE(late.Covers(id(e)));
+  EXPECT_FALSE(late.Covers(id(f)));
+}
+
 /// End-to-end check: build a small document, define a view, apply one
 /// statement through the maintenance machinery, compare against recompute.
 struct Scenario {

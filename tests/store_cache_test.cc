@@ -1,0 +1,261 @@
+// Tests for the store's delta-aware val/cont cache (store/valcont_cache.h,
+// StoreIndex::Val/Cont): cached reads equal fresh recomputation, delta
+// invalidation drops exactly the changed node and its cached ancestors,
+// dead nodes bypass the cache, the gate and byte budget behave, the audit
+// cross-check catches a poisoned entry, and a multi-worker ViewManager
+// stream (the TSan leg's stress target) keeps the cache coherent.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/invariant.h"
+#include "store/audit.h"
+#include "update/update.h"
+#include "view/manager.h"
+#include "xmark/generator.h"
+#include "xmark/updates.h"
+#include "xmark/views.h"
+#include "xml/parser.h"
+#include "xpath/xpath_eval.h"
+
+namespace xvm {
+namespace {
+
+class StoreCacheTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& xml) {
+    doc_ = std::make_unique<Document>();
+    ASSERT_TRUE(ParseDocument(xml, doc_.get()).ok());
+    store_ = std::make_unique<StoreIndex>(doc_.get());
+    store_->cache().set_enabled(true);
+    store_->Build();
+  }
+
+  NodeHandle One(const std::string& path) {
+    auto r = EvalXPathString(*doc_, path);
+    EXPECT_TRUE(r.ok()) << path;
+    EXPECT_EQ(r->size(), 1u) << path;
+    return (*r)[0];
+  }
+
+  void ApplyStmt(const UpdateStmt& stmt) {
+    auto pul = ComputePul(*doc_, stmt);
+    ASSERT_TRUE(pul.ok());
+    ApplyPul(doc_.get(), *pul, store_.get());
+  }
+
+  std::unique_ptr<Document> doc_;
+  std::unique_ptr<StoreIndex> store_;
+};
+
+TEST_F(StoreCacheTest, CachedReadsMatchDocumentAndHit) {
+  Load("<r><a>one<b>two</b></a><c>three</c></r>");
+  const NodeHandle a = One("//a");
+  const uint64_t misses0 = store_->cache().stats().misses;
+  EXPECT_EQ(store_->Val(a), doc_->StringValue(a));
+  EXPECT_EQ(store_->Cont(a), doc_->Content(a));
+  EXPECT_EQ(store_->cache().stats().misses, misses0 + 2);
+  const uint64_t hits0 = store_->cache().stats().hits;
+  EXPECT_EQ(store_->Val(a), "onetwo");
+  EXPECT_EQ(store_->Cont(a), doc_->Content(a));
+  EXPECT_EQ(store_->cache().stats().hits, hits0 + 2);
+}
+
+TEST_F(StoreCacheTest, InsertInvalidatesAnchorAndAncestors) {
+  Load("<r><a><b>x</b></a><c>keep</c></r>");
+  const NodeHandle r = One("/r");
+  const NodeHandle a = One("//a");
+  const NodeHandle b = One("//b");
+  const NodeHandle c = One("//c");
+  // Warm every entry.
+  for (NodeHandle h : {r, a, b, c}) {
+    store_->Val(h);
+    store_->Cont(h);
+  }
+  ApplyStmt(UpdateStmt::InsertForest("//b", "<n>new</n>"));
+  // The anchor chain (b, a, r) re-derives against the new document…
+  EXPECT_EQ(store_->Val(b), "xnew");
+  EXPECT_EQ(store_->Val(a), "xnew");
+  EXPECT_EQ(store_->Val(r), "xnewkeep");
+  EXPECT_EQ(store_->Cont(b), doc_->Content(b));
+  EXPECT_NE(store_->Cont(r).find("<n>new</n>"), std::string::npos);
+  // …and nothing cached anywhere is stale.
+  InvariantReport report;
+  AuditValContCache(*doc_, *store_, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST_F(StoreCacheTest, UntouchedSiblingStaysCachedAcrossUpdate) {
+  Load("<r><a><b>x</b></a><c>keep</c></r>");
+  const NodeHandle c = One("//c");
+  store_->Val(c);
+  const uint64_t hits0 = store_->cache().stats().hits;
+  ApplyStmt(UpdateStmt::InsertForest("//b", "<n>new</n>"));
+  // c is not on the anchor's ancestor chain, so its entry survived.
+  EXPECT_EQ(store_->Val(c), "keep");
+  EXPECT_EQ(store_->cache().stats().hits, hits0 + 1);
+}
+
+TEST_F(StoreCacheTest, DeleteInvalidatesAncestorsAndDropsDeadEntries) {
+  Load("<r><a><b>gone</b></a><c>keep</c></r>");
+  const NodeHandle r = One("/r");
+  const NodeHandle a = One("//a");
+  const NodeHandle b = One("//b");
+  for (NodeHandle h : {r, a, b}) store_->Val(h);
+  ApplyStmt(UpdateStmt::Delete("//b"));
+  EXPECT_EQ(store_->Val(a), "");
+  EXPECT_EQ(store_->Val(r), "keep");
+  // The dead subtree's entries are gone and Val on a dead node bypasses the
+  // cache (fresh misses would otherwise cache a dead node again).
+  const size_t entries = store_->cache().EntryCount();
+  EXPECT_EQ(store_->Val(b), "gone");  // dead nodes still serve old payloads
+  EXPECT_EQ(store_->cache().EntryCount(), entries);
+  InvariantReport report;
+  AuditValContCache(*doc_, *store_, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST_F(StoreCacheTest, DisabledGateServesFreshValuesAndCachesNothing) {
+  Load("<r><a>x</a></r>");
+  store_->cache().set_enabled(false);
+  const NodeHandle a = One("//a");
+  EXPECT_EQ(store_->Val(a), "x");
+  EXPECT_EQ(store_->Cont(a), doc_->Content(a));
+  EXPECT_EQ(store_->cache().EntryCount(), 0u);
+  store_->cache().set_enabled(true);
+  EXPECT_EQ(store_->Val(a), "x");
+  EXPECT_EQ(store_->cache().EntryCount(), 1u);
+}
+
+TEST_F(StoreCacheTest, ByteBudgetEvicts) {
+  // 40 sizable text children; a tiny budget must keep the footprint bounded
+  // and count evictions.
+  std::string xml = "<r>";
+  for (int i = 0; i < 40; ++i) {
+    xml += "<a>" + std::string(256, 'x') + "</a>";
+  }
+  xml += "</r>";
+  Load(xml);
+  store_->cache().set_budget_bytes(4096);
+  auto as = EvalXPathString(*doc_, "//a");
+  ASSERT_TRUE(as.ok());
+  for (NodeHandle h : *as) store_->Cont(h);
+  EXPECT_GT(store_->cache().stats().evictions, 0u);
+  EXPECT_LE(store_->cache().ApproxBytes(), 4096u);
+  // Evicted entries just recompute.
+  for (NodeHandle h : *as) {
+    EXPECT_EQ(store_->Cont(h), doc_->Content(h));
+  }
+}
+
+TEST_F(StoreCacheTest, BuildClearsTheCache) {
+  Load("<r><a>x</a></r>");
+  store_->Val(One("//a"));
+  EXPECT_GT(store_->cache().EntryCount(), 0u);
+  store_->Build();
+  EXPECT_EQ(store_->cache().EntryCount(), 0u);
+}
+
+TEST_F(StoreCacheTest, AuditReportsPoisonedEntry) {
+  Load("<r><a>x</a></r>");
+  const NodeHandle a = One("//a");
+  store_->Val(a);
+  store_->Cont(a);
+  store_->cache().PoisonForTesting(a);
+  InvariantReport report;
+  AuditValContCache(*doc_, *store_, &report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has("cache.val")) << report.ToString();
+  EXPECT_TRUE(report.Has("cache.cont")) << report.ToString();
+}
+
+TEST_F(StoreCacheTest, InvalidationCountersFlow) {
+  Load("<r><a><b>x</b></a></r>");
+  const NodeHandle a = One("//a");
+  store_->Val(a);
+  const uint64_t inval0 = store_->cache().stats().invalidations;
+  ApplyStmt(UpdateStmt::InsertForest("//b", "<n/>"));
+  EXPECT_GT(store_->cache().stats().invalidations, inval0);
+}
+
+// The TSan-leg stress target (scripts/check.sh runs -R StoreCacheStress
+// under -DXVM_SANITIZE=thread): a 4-worker ViewManager drives nine views
+// over a mixed insert/delete/replace stream with the cache on and invariant
+// auditing cross-checking every cache entry after every statement, and the
+// result must equal a serial cache-off run.
+TEST(StoreCacheStressTest, ParallelManagerWithCacheMatchesUncachedSerial) {
+  ScopedInvariantAuditing audit(true);
+  constexpr uint64_t kSeed = 4242;
+
+  struct Bench {
+    Bench(size_t workers, bool cache_on, uint64_t seed) : store(&doc) {
+      GenerateXMark(XMarkConfig{40 * 1024, seed}, &doc);
+      store.cache().set_enabled(cache_on);
+      store.Build();
+      mgr = std::make_unique<ViewManager>(&doc, &store);
+      mgr->set_workers(workers);
+      size_t i = 0;
+      for (const std::string& name : XMarkViewNames()) {
+        auto def = XMarkView(name);
+        EXPECT_TRUE(def.ok()) << name;
+        mgr->AddView(std::move(def).value(),
+                     (i++ % 2 == 0) ? LatticeStrategy::kSnowcaps
+                                    : LatticeStrategy::kLeaves);
+      }
+    }
+    Document doc;
+    StoreIndex store;
+    std::unique_ptr<ViewManager> mgr;
+  };
+
+  Bench cached(4, true, kSeed);
+  Bench plain(1, false, kSeed);
+
+  MetricsRegistry metrics;
+  cached.mgr->set_metrics(&metrics);
+
+  std::vector<UpdateStmt> stream;
+  for (const char* name : {"X1_L", "A7_O", "B7_LB", "E6_L"}) {
+    auto u = FindXMarkUpdate(name);
+    ASSERT_TRUE(u.ok()) << name;
+    stream.push_back(MakeInsertStmt(*u));
+    stream.push_back(
+        UpdateStmt::ReplaceContent(u->target, u->forest, u->name + "_rep"));
+    stream.push_back(MakeDeleteStmt(*u));
+  }
+
+  for (size_t s = 0; s < stream.size(); ++s) {
+    auto co = cached.mgr->ApplyAndPropagateAll(stream[s]);
+    auto po = plain.mgr->ApplyAndPropagateAll(stream[s]);
+    ASSERT_TRUE(co.ok()) << "stmt#" << s << ": " << co.status().ToString();
+    ASSERT_TRUE(po.ok()) << "stmt#" << s << ": " << po.status().ToString();
+    for (size_t i = 0; i < cached.mgr->size(); ++i) {
+      auto sc = cached.mgr->view(i).view().Snapshot();
+      auto sp = plain.mgr->view(i).view().Snapshot();
+      ASSERT_EQ(sc.size(), sp.size())
+          << cached.mgr->view(i).def().name() << " stmt#" << s;
+      for (size_t t = 0; t < sc.size(); ++t) {
+        ASSERT_EQ(sc[t].tuple, sp[t].tuple)
+            << cached.mgr->view(i).def().name() << " stmt#" << s;
+        ASSERT_EQ(sc[t].count, sp[t].count)
+            << cached.mgr->view(i).def().name() << " stmt#" << s;
+      }
+    }
+  }
+
+  // The cache did real work and its counters reached the registry.
+  EXPECT_GT(cached.store.cache().stats().hits, 0u);
+  EXPECT_GT(cached.store.cache().stats().invalidations, 0u);
+  auto snap = metrics.Snapshot();
+  ASSERT_EQ(snap.count(kStoreMetricsView), 1u);
+  const auto& counters = snap[kStoreMetricsView].counters();
+  EXPECT_GT(counters.at("cache_hits"), 0);
+  EXPECT_GT(counters.at("cache_misses"), 0);
+  EXPECT_GT(counters.at("cache_invalidations"), 0);
+}
+
+}  // namespace
+}  // namespace xvm
