@@ -1,0 +1,42 @@
+# Compile-time lock discipline (DESIGN.md §"Correctness tooling").
+#
+#   -DXVM_THREAD_SAFETY=ON      enable Clang's -Wthread-safety analysis over
+#                               the annotated wrappers of
+#                               src/common/thread_annotations.h
+#                               (auto-detected: defaults ON under Clang,
+#                               OFF elsewhere — GCC has no such analysis and
+#                               the annotation macros expand to nothing)
+#   -DXVM_THREAD_SAFETY_WERROR=ON
+#                               additionally promote the analysis to an
+#                               error (-Werror=thread-safety); this is what
+#                               scripts/check.sh and CI build with, so a
+#                               lock-discipline violation fails the gate,
+#                               not just warns
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  set(_xvm_thread_safety_default ON)
+else()
+  set(_xvm_thread_safety_default OFF)
+endif()
+
+option(XVM_THREAD_SAFETY
+       "Enable Clang thread-safety analysis (-Wthread-safety)"
+       ${_xvm_thread_safety_default})
+option(XVM_THREAD_SAFETY_WERROR
+       "Promote thread-safety findings to errors (-Werror=thread-safety)"
+       OFF)
+
+if(XVM_THREAD_SAFETY)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    add_compile_options(-Wthread-safety)
+    if(XVM_THREAD_SAFETY_WERROR)
+      add_compile_options(-Werror=thread-safety)
+    endif()
+    message(STATUS "xvm: thread-safety analysis enabled"
+                   " (werror=${XVM_THREAD_SAFETY_WERROR})")
+  else()
+    message(WARNING
+            "XVM_THREAD_SAFETY=ON requires Clang; ${CMAKE_CXX_COMPILER_ID} "
+            "compiles the annotations as no-ops and performs no analysis")
+  endif()
+endif()

@@ -1,25 +1,40 @@
 #!/usr/bin/env bash
 # One-command correctness gate for xvm — the bar every PR must clear:
 #
-#   1. Status-discipline lint (tools/lint_status.py).
+#   1. Textual lints: Status discipline (tools/lint_status.py) and lock
+#      discipline (tools/lint_locks.py — raw mutexes, unannotated atomics,
+#      relaxed orderings outside the allowlist, sleep-based sync), plus the
+#      lock lint's own fixture self-test.
 #   2. clang-tidy over src/ (skipped with a notice when not installed).
-#   3. ASan+UBSan build (-DXVM_SANITIZE=address) + full ctest run.
-#   4. TSan build (-DXVM_SANITIZE=thread) + full ctest run.
-#   5. TSan re-run of the val/cont cache stress test with the cache forced
+#   3. Thread-safety analysis leg: a Clang build of the full tree with
+#      -DXVM_THREAD_SAFETY=ON -DXVM_THREAD_SAFETY_WERROR=ON, so any
+#      lock-discipline violation the annotations can express is a hard
+#      build error; the negative compile tests then prove the analysis
+#      actually rejects violations. Skipped with a notice when no clang++
+#      is installed (the annotations are no-ops elsewhere).
+#   4. ASan+UBSan build (-DXVM_SANITIZE=address) + full ctest run.
+#   5. TSan build (-DXVM_SANITIZE=thread) + full ctest run.
+#   6. TSan re-run of the val/cont cache stress test with the cache forced
 #      on (XVM_CONT_CACHE=1), so the striped-lock cache is raced by the
 #      parallel ViewManager regardless of the build's compiled default.
+#
+# Every configuration is exported with CMAKE_EXPORT_COMPILE_COMMANDS=ON so
+# clang-tidy and the thread-safety leg analyze against the real flags of a
+# real build tree, never best-effort guesses.
 #
 # All sanitized runs execute with the invariant auditor enabled
 # (XVM_CHECK_INVARIANTS=1): after every applied statement the maintenance
 # layer re-validates store document order, Dewey parent/prefix consistency,
-# label-dictionary bijectivity, every live val/cont cache entry against
-# fresh recomputation, and (sampled) view-vs-recompute equality.
+# label-dictionary bijectivity, every live val/cont cache entry (payloads
+# AND byte accounting) against fresh recomputation, and (sampled)
+# view-vs-recompute equality.
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast   reuse existing build trees without reconfiguring
 # Env:
 #   JOBS=<n>      parallel build/test jobs (default: nproc)
 #   XVM_TIDY=0    skip clang-tidy even if installed
+#   XVM_TSA=0     skip the thread-safety leg even if clang++ is installed
 
 set -euo pipefail
 
@@ -31,8 +46,18 @@ FAST=0
 
 step() { printf '\n== %s ==\n' "$*"; }
 
-step "lint (Status discipline)"
+# configure <build-dir> [cmake args...] — one chokepoint so every build tree
+# in the gate exports compile_commands.json.
+configure() {
+  local bdir="$1"
+  shift
+  cmake -B "$bdir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "$@" >/dev/null
+}
+
+step "lint (Status + lock discipline)"
 python3 tools/lint_status.py --root "$ROOT"
+python3 tools/lint_locks.py --root "$ROOT"
+python3 tools/lint_locks_test.py
 
 step "clang-tidy"
 if [[ "${XVM_TIDY:-1}" == "0" ]]; then
@@ -41,8 +66,7 @@ elif command -v clang-tidy >/dev/null 2>&1; then
   # The address build tree below exports compile_commands.json; configure it
   # first if this is the first run.
   if [[ ! -f build-asan/compile_commands.json ]]; then
-    cmake -B build-asan -S . -DXVM_SANITIZE=address -DXVM_CHECK_INVARIANTS=ON \
-          -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    configure build-asan -DXVM_SANITIZE=address -DXVM_CHECK_INVARIANTS=ON
   fi
   # shellcheck disable=SC2046
   clang-tidy -p build-asan --quiet $(find src -name '*.cc' | sort)
@@ -50,12 +74,29 @@ else
   echo "skipped (clang-tidy not installed; config in .clang-tidy)"
 fi
 
+step "thread-safety analysis (clang, -Werror=thread-safety)"
+if [[ "${XVM_TSA:-1}" == "0" ]]; then
+  echo "skipped (XVM_TSA=0)"
+elif command -v clang++ >/dev/null 2>&1; then
+  if [[ "$FAST" == "0" || ! -d build-tsa ]]; then
+    configure build-tsa \
+        -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+        -DXVM_THREAD_SAFETY=ON -DXVM_THREAD_SAFETY_WERROR=ON \
+        -DXVM_CHECK_INVARIANTS=ON
+  fi
+  cmake --build build-tsa -j "$JOBS"
+  # The negative compile tests: representative violations must fail to
+  # compile, and the positive control must compile clean.
+  ctest --test-dir build-tsa -R 'thread_safety' --output-on-failure -j "$JOBS"
+else
+  echo "skipped (clang++ not installed; annotations are no-ops without it)"
+fi
+
 run_config() {
   local preset="$1" bdir="$2"
   step "build ($preset sanitizer)"
   if [[ "$FAST" == "0" || ! -d "$bdir" ]]; then
-    cmake -B "$bdir" -S . -DXVM_SANITIZE="$preset" -DXVM_CHECK_INVARIANTS=ON \
-          -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    configure "$bdir" -DXVM_SANITIZE="$preset" -DXVM_CHECK_INVARIANTS=ON
   fi
   cmake --build "$bdir" -j "$JOBS"
   step "ctest ($preset sanitizer, invariants on)"
@@ -67,7 +108,7 @@ run_config thread build-tsan
 
 step "cache stress (thread sanitizer, cache forced on)"
 XVM_CHECK_INVARIANTS=1 XVM_CONT_CACHE=1 \
-  ctest --test-dir build-tsan -R 'StoreCacheStress|PersistTest.Fuzz' \
+  ctest --test-dir build-tsan -R 'StoreCacheStress|StoreCacheBytes|PersistTest.Fuzz' \
         --output-on-failure -j "$JOBS"
 
 step "all checks passed"

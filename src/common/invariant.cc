@@ -19,6 +19,11 @@ bool DefaultEnabled() {
 #endif
 }
 
+// atomic: the audit gate is read on every maintenance statement — including
+// from propagation workers — and flipped by tests via SetInvariantAuditing.
+// It is a pure on/off switch with no data published alongside it, so relaxed
+// loads/exchanges are sufficient: a thread observing a stale value merely
+// runs (or skips) one more audit pass.
 std::atomic<bool>& EnabledFlag() {
   static std::atomic<bool> enabled{DefaultEnabled()};
   return enabled;

@@ -115,18 +115,18 @@ void ViewMetrics::AppendJson(std::string* out) const {
 
 void MetricsRegistry::RecordPhase(const std::string& view,
                                   const std::string& phase, double ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   views_[view].RecordPhase(phase, ms);
 }
 
 void MetricsRegistry::AddCounter(const std::string& view,
                                  const std::string& counter, int64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   views_[view].AddCounter(counter, delta);
 }
 
 std::map<std::string, ViewMetrics> MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   return views_;
 }
 
@@ -147,7 +147,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 void MetricsRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   views_.clear();
 }
 

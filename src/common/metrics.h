@@ -4,8 +4,9 @@
 #include <array>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "common/thread_annotations.h"
 
 namespace xvm {
 
@@ -69,28 +70,30 @@ class ViewMetrics {
 };
 
 /// Thread-safe registry of per-view metrics, the coordinator's observability
-/// surface. Recording is mutex-guarded (cheap relative to the maintenance
-/// work it measures); readers take a deep snapshot or serialize to JSON.
+/// surface. Recording takes the registry lock exclusively (cheap relative to
+/// the maintenance work it measures); readers share it — concurrent
+/// Snapshot/ToJson calls (dashboards, per-statement bench dumps) never
+/// serialize against each other, only against writers.
 class MetricsRegistry {
  public:
   void RecordPhase(const std::string& view, const std::string& phase,
-                   double ms);
+                   double ms) XVM_EXCLUDES(mu_);
   void AddCounter(const std::string& view, const std::string& counter,
-                  int64_t delta);
+                  int64_t delta) XVM_EXCLUDES(mu_);
 
   /// Deep copy of the current state, safe to read without locks.
-  std::map<std::string, ViewMetrics> Snapshot() const;
+  std::map<std::string, ViewMetrics> Snapshot() const XVM_EXCLUDES(mu_);
 
   /// {"views":{"<name>":{"counters":{...},"phases":{"<phase>":{...}}}}}
   /// Shared (non-per-view) work is reported under the pseudo-view
   /// "__shared__" by the coordinator.
-  std::string ToJson() const;
+  std::string ToJson() const XVM_EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() XVM_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, ViewMetrics> views_;
+  mutable SharedMutex mu_;
+  std::map<std::string, ViewMetrics> views_ XVM_GUARDED_BY(mu_);
 };
 
 }  // namespace xvm

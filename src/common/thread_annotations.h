@@ -1,0 +1,193 @@
+#ifndef XVM_COMMON_THREAD_ANNOTATIONS_H_
+#define XVM_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+/// Compile-time lock discipline (DESIGN.md §"Correctness tooling").
+///
+/// This header is the single place in the tree where the raw standard
+/// synchronization primitives may appear; everything else must go through
+/// the annotated wrappers below (enforced by tools/lint_locks.py). Under
+/// Clang with -Wthread-safety (the XVM_THREAD_SAFETY CMake option, promoted
+/// to -Werror=thread-safety in scripts/check.sh) the annotations make the
+/// lock protocol *provable*: reading an XVM_GUARDED_BY member without its
+/// mutex, double-acquiring a Mutex, or calling an XVM_REQUIRES helper
+/// without the lock is a build error, not a TSan maybe-catch. On compilers
+/// without the analysis (GCC) every macro expands to nothing and the
+/// wrappers are zero-overhead shims over std::mutex / std::shared_mutex.
+///
+/// Vocabulary (mirrors Clang's capability model):
+///   XVM_CAPABILITY(name)       a class is a lockable capability
+///   XVM_SCOPED_CAPABILITY      a class is an RAII lock holder
+///   XVM_GUARDED_BY(mu)         member readable/writable only under mu
+///   XVM_PT_GUARDED_BY(mu)      pointee protected by mu (the pointer isn't)
+///   XVM_REQUIRES(mu...)        caller must hold mu exclusively
+///   XVM_REQUIRES_SHARED(mu...) caller must hold mu at least shared
+///   XVM_ACQUIRE / XVM_RELEASE  function acquires/releases mu
+///   XVM_EXCLUDES(mu...)        caller must NOT hold mu (deadlock guard)
+///   XVM_ASSERT_CAPABILITY(mu)  runtime-checked "I already hold mu"
+///   XVM_RETURN_CAPABILITY(mu)  accessor returning a reference to mu
+///   XVM_NO_THREAD_SAFETY_ANALYSIS  opt a function out (justify in a comment)
+
+#if defined(__clang__)
+#define XVM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define XVM_THREAD_ANNOTATION(x)
+#endif
+
+#define XVM_CAPABILITY(x) XVM_THREAD_ANNOTATION(capability(x))
+#define XVM_SCOPED_CAPABILITY XVM_THREAD_ANNOTATION(scoped_lockable)
+#define XVM_GUARDED_BY(x) XVM_THREAD_ANNOTATION(guarded_by(x))
+#define XVM_PT_GUARDED_BY(x) XVM_THREAD_ANNOTATION(pt_guarded_by(x))
+#define XVM_REQUIRES(...) \
+  XVM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define XVM_REQUIRES_SHARED(...) \
+  XVM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define XVM_ACQUIRE(...) \
+  XVM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define XVM_ACQUIRE_SHARED(...) \
+  XVM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define XVM_RELEASE(...) \
+  XVM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define XVM_RELEASE_SHARED(...) \
+  XVM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define XVM_TRY_ACQUIRE(...) \
+  XVM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define XVM_EXCLUDES(...) XVM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define XVM_ASSERT_CAPABILITY(x) XVM_THREAD_ANNOTATION(assert_capability(x))
+#define XVM_RETURN_CAPABILITY(x) XVM_THREAD_ANNOTATION(lock_returned(x))
+#define XVM_NO_THREAD_SAFETY_ANALYSIS \
+  XVM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace xvm {
+
+/// Annotated exclusive mutex. Prefer MutexLock over manual Lock/Unlock;
+/// the manual pair exists for the rare hand-over-hand or wait-loop shapes
+/// (threadpool.cc) where RAII alone cannot express the protocol.
+class XVM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() XVM_ACQUIRE() { mu_.lock(); }
+  void Unlock() XVM_RELEASE() { mu_.unlock(); }
+  bool TryLock() XVM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// BasicLockable spellings so std::condition_variable_any (inside CondVar)
+  /// can park on a Mutex. Annotated identically; production code must still
+  /// use Lock/Unlock — tools/lint_locks.py rejects `.lock()` calls outside
+  /// this header.
+  void lock() XVM_ACQUIRE() { mu_.lock(); }
+  void unlock() XVM_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated reader/writer mutex (std::shared_mutex underneath). Writers
+/// use Lock/Unlock (or WriterMutexLock), readers ReaderLock/ReaderUnlock
+/// (or ReaderMutexLock); XVM_GUARDED_BY members then require the exclusive
+/// capability to write and at least the shared one to read.
+class XVM_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() XVM_ACQUIRE() { mu_.lock(); }
+  void Unlock() XVM_RELEASE() { mu_.unlock(); }
+  void ReaderLock() XVM_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() XVM_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over a Mutex. Relockable: Unlock/Lock let a scope
+/// drop the lock around a blocking callback and retake it (the threadpool's
+/// dispatch loop); the destructor releases only if currently held.
+class XVM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) XVM_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.Lock();
+  }
+  ~MutexLock() XVM_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() XVM_RELEASE() {
+    mu_.Unlock();
+    held_ = false;
+  }
+  void Lock() XVM_ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// RAII exclusive lock over a SharedMutex.
+class XVM_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) XVM_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() XVM_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock over a SharedMutex.
+class XVM_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) XVM_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.ReaderLock();
+  }
+  ~ReaderMutexLock() XVM_RELEASE() { mu_.ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable paired with Mutex. No predicate overload on purpose:
+/// the predicate lambda would escape the analysis (lambdas carry no lock
+/// set), so waiters spell the standard guarded loop
+///
+///   while (!condition) cv.Wait(mu);
+///
+/// which keeps every guarded-member read inside the annotated function.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires it before returning.
+  void Wait(Mutex& mu) XVM_REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace xvm
+
+#endif  // XVM_COMMON_THREAD_ANNOTATIONS_H_

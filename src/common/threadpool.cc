@@ -13,10 +13,10 @@ ThreadPool::ThreadPool(size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -27,21 +27,21 @@ size_t ThreadPool::DefaultWorkers() {
 
 void ThreadPool::WorkerLoop() {
   uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [&] { return stop_ || batch_seq_ != seen; });
+    while (!stop_ && batch_seq_ == seen) work_cv_.Wait(mu_);
     if (stop_) return;
     seen = batch_seq_;
     while (fn_ != nullptr && next_index_ < batch_size_) {
       const size_t i = next_index_++;
       ++in_flight_;
       const std::function<void(size_t)>* fn = fn_;
-      lock.unlock();
+      lock.Unlock();
       (*fn)(i);
-      lock.lock();
+      lock.Lock();
       --in_flight_;
       if (next_index_ >= batch_size_ && in_flight_ == 0) {
-        done_cv_.notify_all();
+        done_cv_.NotifyAll();
       }
     }
   }
@@ -53,24 +53,24 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::lock_guard<std::mutex> batch(batch_mu_);
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock batch(batch_mu_);
+  MutexLock lock(mu_);
   fn_ = &fn;
   batch_size_ = n;
   next_index_ = 0;
   in_flight_ = 0;
   ++batch_seq_;
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // The caller claims indices alongside the workers.
   while (next_index_ < batch_size_) {
     const size_t i = next_index_++;
     ++in_flight_;
-    lock.unlock();
+    lock.Unlock();
     fn(i);
-    lock.lock();
+    lock.Lock();
     --in_flight_;
   }
-  done_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  while (in_flight_ != 0) done_cv_.Wait(mu_);
   fn_ = nullptr;
 }
 

@@ -1,13 +1,13 @@
 #ifndef XVM_COMMON_THREADPOOL_H_
 #define XVM_COMMON_THREADPOOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace xvm {
 
@@ -38,25 +38,29 @@ class ThreadPool {
   /// Runs fn(0), fn(1), ..., fn(n-1) across the pool plus the calling
   /// thread; returns once every call has completed. `fn` must be safe to
   /// invoke concurrently for distinct indices.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      XVM_EXCLUDES(batch_mu_, mu_);
 
   /// Default worker count: the hardware concurrency, at least 1.
   static size_t DefaultWorkers();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() XVM_EXCLUDES(mu_);
 
-  std::mutex batch_mu_;  // serializes ParallelFor callers
+  Mutex batch_mu_;  // serializes ParallelFor callers; never nested inside mu_
 
-  std::mutex mu_;  // guards everything below
-  std::condition_variable work_cv_;  // workers: a new batch is available
-  std::condition_variable done_cv_;  // caller: the batch has drained
-  const std::function<void(size_t)>* fn_ = nullptr;
-  size_t batch_size_ = 0;
-  size_t next_index_ = 0;  // shared cursor; claimed in increasing order
-  size_t in_flight_ = 0;   // claimed but not yet finished
-  uint64_t batch_seq_ = 0;  // bumped per batch so idle workers notice work
-  bool stop_ = false;
+  Mutex mu_;  // guards the batch state below
+  CondVar work_cv_;  // workers: a new batch is available
+  CondVar done_cv_;  // caller: the batch has drained
+  const std::function<void(size_t)>* fn_ XVM_GUARDED_BY(mu_) = nullptr;
+  size_t batch_size_ XVM_GUARDED_BY(mu_) = 0;
+  // Shared cursor; claimed in increasing order.
+  size_t next_index_ XVM_GUARDED_BY(mu_) = 0;
+  // Claimed but not yet finished.
+  size_t in_flight_ XVM_GUARDED_BY(mu_) = 0;
+  // Bumped per batch so idle workers notice work.
+  uint64_t batch_seq_ XVM_GUARDED_BY(mu_) = 0;
+  bool stop_ XVM_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

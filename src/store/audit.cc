@@ -144,7 +144,25 @@ void AuditStoreIndex(const Document& doc, const StoreIndex& store,
 
 void AuditValContCache(const Document& doc, const StoreIndex& store,
                        InvariantReport* report) {
-  for (const ValContCache::AuditEntry& e : store.cache().SnapshotForAudit()) {
+  // Byte-budget accounting: every mutation adjusts a shard's byte counter
+  // under that shard's lock, so between statements (where audits run, with
+  // no concurrent cache traffic) the counters must equal a recount of the
+  // live entries exactly — any drift means an update path skipped the
+  // accounting or touched a counter outside its stripe lock.
+  size_t recounted = 0;
+  const std::vector<ValContCache::AuditEntry> entries =
+      store.cache().SnapshotForAudit();
+  for (const ValContCache::AuditEntry& e : entries) {
+    recounted += ValContCache::kEntryOverhead + e.val.size() + e.cont.size();
+  }
+  const size_t accounted = store.cache().ApproxBytes();
+  if (recounted != accounted) {
+    report->Add("cache.bytes",
+                "shard byte counters sum to " + std::to_string(accounted) +
+                    " but the " + std::to_string(entries.size()) +
+                    " live entries recount to " + std::to_string(recounted));
+  }
+  for (const ValContCache::AuditEntry& e : entries) {
     const NodeHandle h = e.node;
     if (!doc.IsAlive(h)) {
       report->Add("cache.alive",

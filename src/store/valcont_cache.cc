@@ -41,25 +41,26 @@ ValContCache::ValContCache()
       budget_bytes_(ContCacheDefaultBudgetBytes()) {}
 
 void ValContCache::set_enabled(bool enabled) {
-  if (enabled_ == enabled) return;
-  enabled_ = enabled;
+  if (enabled_.exchange(enabled, std::memory_order_relaxed) == enabled) {
+    return;
+  }
   Clear();
 }
 
 void ValContCache::set_budget_bytes(size_t bytes) {
-  budget_bytes_ = bytes;
+  budget_bytes_.store(bytes, std::memory_order_relaxed);
   for (Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     EvictLocked(&s);
   }
 }
 
 bool ValContCache::Lookup(ValContCacheKey node, Kind kind,
                           std::string* out) const {
-  if (!enabled_) return false;
+  if (!enabled()) return false;
   Shard& s = shard(node);
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     auto it = s.map.find(node);
     if (it != s.map.end()) {
       const Entry& e = it->second;
@@ -76,9 +77,9 @@ bool ValContCache::Lookup(ValContCacheKey node, Kind kind,
 
 void ValContCache::Insert(ValContCacheKey node, Kind kind,
                           const std::string& value) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   Shard& s = shard(node);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   auto [it, inserted] = s.map.try_emplace(node);
   Entry& e = it->second;
   if (!inserted) s.bytes -= e.bytes();
@@ -95,7 +96,7 @@ void ValContCache::Insert(ValContCacheKey node, Kind kind,
 
 void ValContCache::Erase(ValContCacheKey node) {
   Shard& s = shard(node);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   auto it = s.map.find(node);
   if (it == s.map.end()) return;
   s.bytes -= it->second.bytes();
@@ -105,14 +106,14 @@ void ValContCache::Erase(ValContCacheKey node) {
 
 void ValContCache::Clear() {
   for (Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     s.map.clear();
     s.bytes = 0;
   }
 }
 
-void ValContCache::EvictLocked(Shard* s) {
-  const size_t slice = budget_bytes_ / kShards;
+void ValContCache::EvictLocked(Shard* s) const {
+  const size_t slice = budget_bytes() / kShards;
   while (s->bytes > slice && !s->map.empty()) {
     auto it = s->map.begin();
     s->bytes -= it->second.bytes();
@@ -133,7 +134,7 @@ ValContCache::Stats ValContCache::stats() const {
 size_t ValContCache::ApproxBytes() const {
   size_t total = 0;
   for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     total += s.bytes;
   }
   return total;
@@ -142,7 +143,7 @@ size_t ValContCache::ApproxBytes() const {
 size_t ValContCache::EntryCount() const {
   size_t total = 0;
   for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     total += s.map.size();
   }
   return total;
@@ -151,7 +152,7 @@ size_t ValContCache::EntryCount() const {
 std::vector<ValContCache::AuditEntry> ValContCache::SnapshotForAudit() const {
   std::vector<AuditEntry> entries;
   for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     for (const auto& [node, e] : s.map) {
       AuditEntry a;
       a.node = node;
@@ -167,7 +168,7 @@ std::vector<ValContCache::AuditEntry> ValContCache::SnapshotForAudit() const {
 
 void ValContCache::PoisonForTesting(ValContCacheKey node) {
   Shard& s = shard(node);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   auto it = s.map.find(node);
   if (it == s.map.end()) return;
   if (it->second.has_val) it->second.val += "\x01poison";

@@ -4,10 +4,11 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace xvm {
 
@@ -65,11 +66,17 @@ class ValContCache {
   ValContCache(const ValContCache&) = delete;
   ValContCache& operator=(const ValContCache&) = delete;
 
-  bool enabled() const { return enabled_; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   /// Flipping the gate clears the cache (a disabled cache holds nothing).
+  /// Callers must quiesce concurrent readers/writers around the flip — an
+  /// insert in flight past the gate check could otherwise land after the
+  /// clear. All current callers (store Build, tests, bench setup) flip
+  /// between statements.
   void set_enabled(bool enabled);
 
-  size_t budget_bytes() const { return budget_bytes_; }
+  size_t budget_bytes() const {
+    return budget_bytes_.load(std::memory_order_relaxed);
+  }
   void set_budget_bytes(size_t bytes);
 
   /// On hit copies the payload into *out and returns true; counts the
@@ -96,6 +103,12 @@ class ValContCache {
   /// the audit cross-check reports it. Never used by production code.
   void PoisonForTesting(ValContCacheKey node);
 
+  /// Rough per-entry bookkeeping cost (map node + strings' headers) counted
+  /// into a shard's byte total. Public so the `cache.bytes` audit invariant
+  /// (store/audit.cc) and the accounting regression test can recompute a
+  /// shard's expected footprint from a snapshot.
+  static constexpr size_t kEntryOverhead = 96;
+
  private:
   struct Entry {
     bool has_val = false;
@@ -106,30 +119,39 @@ class ValContCache {
     size_t bytes() const { return kEntryOverhead + val.size() + cont.size(); }
   };
 
-  /// Rough per-entry bookkeeping cost (map node + strings' headers).
-  static constexpr size_t kEntryOverhead = 96;
   static constexpr size_t kShards = 16;
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<ValContCacheKey, Entry> map;
-    size_t bytes = 0;  // guarded by mu
+    mutable Mutex mu;
+    std::unordered_map<ValContCacheKey, Entry> map XVM_GUARDED_BY(mu);
+    size_t bytes XVM_GUARDED_BY(mu) = 0;  // == Σ map entry bytes(), exactly
   };
 
   Shard& shard(ValContCacheKey node) const {
     return shards_[node % kShards];
   }
-  /// Evicts entries from `s` (whose lock is held) until it fits its slice
-  /// of the budget.
-  void EvictLocked(Shard* s);
+  /// Evicts entries from `s` until it fits its slice of the budget.
+  void EvictLocked(Shard* s) const XVM_REQUIRES(s->mu);
 
-  bool enabled_;
-  size_t budget_bytes_;
+  // atomic: the gate is read lock-free on every Lookup/Insert while
+  // set_enabled flips it from setup/test code; it carries no payload (the
+  // entries it guards live behind the shard locks), so relaxed is enough —
+  // a stale read costs one bypassed lookup or one insert into a cache about
+  // to be cleared, both benign under the quiesced-flip contract above.
+  std::atomic<bool> enabled_;
+  // atomic: read by EvictLocked under a *shard* lock while set_budget_bytes
+  // stores it with no lock of its own; the budget is advisory (eviction
+  // pressure), so relaxed suffices — a shard evicting against a stale budget
+  // converges on the next insert.
+  std::atomic<size_t> budget_bytes_;
   mutable std::array<Shard, kShards> shards_;
+  // atomic: monotonic counters bumped on hot paths from many workers and
+  // only ever read as a statistics snapshot; relaxed increments are exact
+  // for totals and no ordering with the cached payloads is implied.
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> invalidations_{0};
-  std::atomic<uint64_t> evictions_{0};
+  mutable std::atomic<uint64_t> evictions_{0};
 };
 
 /// Process-wide defaults: XVM_CONT_CACHE env ("0" disables, anything else

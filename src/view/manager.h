@@ -49,6 +49,17 @@ inline constexpr char kStoreMetricsView[] = "__store__";
 /// are share-nothing and the parallel result is bit-identical to the serial
 /// one. Tasks are dispatched in registration order by a work-stealing-free
 /// ThreadPool; workers == 1 runs inline with no pool at all.
+///
+/// Lock discipline (common/thread_annotations.h): the manager itself is
+/// externally synchronized — exactly one coordinator thread calls its
+/// methods, so its members carry no capability annotations. The state that
+/// IS shared during a fan-out lives behind annotated internally-synchronized
+/// components: the ThreadPool's batch state (Mutex + CondVar), the
+/// MetricsRegistry (SharedMutex, writers exclusive / snapshot readers
+/// shared) and the store's ValContCache (16 per-stripe Mutex capabilities).
+/// Workers additionally write MultiUpdateOutcome::per_view, which is safe
+/// lock-free because each worker owns exactly its own index's slot and the
+/// coordinator reads only after ParallelFor's completion barrier.
 class ViewManager {
  public:
   ViewManager(Document* doc, StoreIndex* store) : doc_(doc), store_(store) {}

@@ -7,12 +7,14 @@
 
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/invariant.h"
 #include "store/audit.h"
+#include "store/valcont_cache.h"
 #include "update/update.h"
 #include "view/manager.h"
 #include "xmark/generator.h"
@@ -170,6 +172,61 @@ TEST_F(StoreCacheTest, AuditReportsPoisonedEntry) {
   ASSERT_FALSE(report.ok());
   EXPECT_TRUE(report.Has("cache.val")) << report.ToString();
   EXPECT_TRUE(report.Has("cache.cont")) << report.ToString();
+}
+
+// Regression: the byte-budget counters must stay *exactly* equal to a
+// recount of the live entries, even when inserts, erases, lookups and
+// budget shrinks race across stripes (the `cache.bytes` audit invariant
+// checks the same equality after every statement). Before enabled_ and
+// budget_bytes_ became atomics, a set_budget_bytes racing an insert was a
+// data race on the budget that eviction reads.
+TEST(StoreCacheBytesTest, ConcurrentChurnKeepsByteAccountingExact) {
+  ValContCache cache;
+  cache.set_enabled(true);
+  cache.set_budget_bytes(1 << 15);
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      const std::string payload(64 + 16 * t, 'p');
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // Overlapping key ranges so threads collide on stripes and slots.
+        const ValContCacheKey node = static_cast<ValContCacheKey>(i % 257);
+        switch (i % 5) {
+          case 0:
+            cache.Insert(node, ValContCache::Kind::kVal, payload);
+            break;
+          case 1:
+            cache.Insert(node, ValContCache::Kind::kCont, payload);
+            break;
+          case 2: {
+            std::string out;
+            cache.Lookup(node, ValContCache::Kind::kCont, &out);
+            break;
+          }
+          case 3:
+            cache.Erase(node);
+            break;
+          case 4:
+            // Budget churn forces evictions concurrent with inserts.
+            cache.set_budget_bytes((t % 2 == 0) ? (1 << 13) : (1 << 15));
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  size_t recounted = 0;
+  size_t live = 0;
+  for (const ValContCache::AuditEntry& e : cache.SnapshotForAudit()) {
+    recounted += ValContCache::kEntryOverhead + e.val.size() + e.cont.size();
+    ++live;
+  }
+  EXPECT_EQ(cache.ApproxBytes(), recounted) << live << " live entries";
+  EXPECT_EQ(cache.EntryCount(), live);
 }
 
 TEST_F(StoreCacheTest, InvalidationCountersFlow) {

@@ -1,0 +1,15 @@
+// Negative compile test (tests/thread_safety_compile_test.cmake): acquiring
+// a Mutex that is already held must fail to compile under
+// -Werror=thread-safety (Mutex is non-recursive; at runtime this would be a
+// deadlock or UB).
+
+#include "common/thread_annotations.h"
+
+int main() {
+  xvm::Mutex mu;
+  mu.Lock();
+  mu.Lock();  // BAD: already held; -Wthread-safety must reject this.
+  mu.Unlock();
+  mu.Unlock();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Negative compile test (tests/thread_safety_compile_test.cmake): reading
+// an XVM_GUARDED_BY member without holding its mutex must fail to compile
+// under -Werror=thread-safety. If this file ever compiles with the analysis
+// on, the annotation layer is broken.
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    xvm::MutexLock lock(mu_);
+    ++value_;
+  }
+  int UnlockedRead() const {
+    return value_;  // BAD: no lock held; -Wthread-safety must reject this.
+  }
+
+ private:
+  mutable xvm::Mutex mu_;
+  int value_ XVM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return c.UnlockedRead();
+}

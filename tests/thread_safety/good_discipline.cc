@@ -1,0 +1,81 @@
+// Positive control for the negative compile tests
+// (tests/thread_safety_compile_test.cmake): exercises the whole annotation
+// vocabulary correctly and must compile *clean* under -Werror=thread-safety.
+// If this fails, the harness (or the wrapper layer) is broken, and the
+// "expected failures" of the bad_*.cc snippets prove nothing.
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) XVM_EXCLUDES(mu_) {
+    xvm::MutexLock lock(mu_);
+    AddLocked(amount);
+    changed_.NotifyAll();
+  }
+
+  void WaitForBalance(int target) XVM_EXCLUDES(mu_) {
+    xvm::MutexLock lock(mu_);
+    while (balance_ < target) changed_.Wait(mu_);
+  }
+
+  int Read() const XVM_EXCLUDES(mu_) {
+    xvm::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  void AddLocked(int amount) XVM_REQUIRES(mu_) { balance_ += amount; }
+
+  mutable xvm::Mutex mu_;
+  xvm::CondVar changed_;
+  int balance_ XVM_GUARDED_BY(mu_) = 0;
+};
+
+class Registry {
+ public:
+  void Publish(int v) XVM_EXCLUDES(mu_) {
+    xvm::WriterMutexLock lock(mu_);
+    value_ = v;
+  }
+  int Snapshot() const XVM_EXCLUDES(mu_) {
+    xvm::ReaderMutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable xvm::SharedMutex mu_;
+  int value_ XVM_GUARDED_BY(mu_) = 0;
+};
+
+// The relock shape the threadpool uses: drop the lock around a callback,
+// retake it, keep looping over guarded state.
+int DrainWithCallback(xvm::Mutex& mu, int& pending, int (*cb)(int))
+    XVM_REQUIRES(mu) {
+  int done = 0;
+  while (pending > 0) {
+    const int item = pending--;
+    mu.Unlock();
+    done += cb(item);
+    mu.Lock();
+  }
+  return done;
+}
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.Deposit(5);
+  a.WaitForBalance(5);
+  Registry r;
+  r.Publish(a.Read());
+  xvm::Mutex mu;
+  int pending = 3;
+  mu.Lock();
+  int done = DrainWithCallback(mu, pending, [](int v) { return v; });
+  mu.Unlock();
+  return r.Snapshot() == 5 && done == 6 ? 0 : 1;
+}

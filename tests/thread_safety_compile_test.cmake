@@ -1,0 +1,51 @@
+# Compile-time negative-test harness for the thread-safety annotation layer
+# (common/thread_annotations.h). Run as a ctest via `cmake -P`:
+#
+#   cmake -DCOMPILER=<clang++> -DSNIPPET=<file.cc> -DINCLUDE_DIR=<src/>
+#         -DEXPECT=FAIL|PASS -P thread_safety_compile_test.cmake
+#
+# EXPECT=FAIL snippets (tests/thread_safety/bad_*.cc) contain one
+# representative lock-discipline violation each and MUST be rejected by
+# -Werror=thread-safety — and rejected *for that reason*: the harness also
+# requires a thread-safety diagnostic in the output, so an unrelated syntax
+# error can't masquerade as a pass. EXPECT=PASS is the positive control
+# (good_discipline.cc) proving the harness + wrappers compile clean, the
+# same way lint_locks_test.py proves the lint both fires and stays quiet.
+#
+# Registration (tests/CMakeLists.txt) requires a Clang: the project compiler
+# when it is Clang, else a `clang++` found on PATH; with neither, the tests
+# are skipped at configure time with a notice (GCC has no -Wthread-safety).
+
+foreach(var COMPILER SNIPPET INCLUDE_DIR EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "thread_safety_compile_test.cmake: ${var} not set")
+  endif()
+endforeach()
+
+execute_process(
+    COMMAND ${COMPILER} -std=c++20 -fsyntax-only
+            -Wthread-safety -Werror=thread-safety
+            -I${INCLUDE_DIR} ${SNIPPET}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+
+if(EXPECT STREQUAL "PASS")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "expected ${SNIPPET} to compile clean, but it failed:\n${err}")
+  endif()
+elseif(EXPECT STREQUAL "FAIL")
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+            "expected ${SNIPPET} to be rejected by -Werror=thread-safety, "
+            "but it compiled")
+  endif()
+  if(NOT err MATCHES "thread-safety" AND NOT out MATCHES "thread-safety")
+    message(FATAL_ERROR
+            "${SNIPPET} failed to compile, but not with a thread-safety "
+            "diagnostic — the violation is being masked:\n${err}")
+  endif()
+else()
+  message(FATAL_ERROR "EXPECT must be PASS or FAIL, got '${EXPECT}'")
+endif()

@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""Lock/atomic-discipline lint for the xvm codebase.
+
+Clang's -Wthread-safety (the XVM_THREAD_SAFETY build) proves the lock
+protocol over the annotated wrappers of src/common/thread_annotations.h —
+but only for code that *uses* the wrappers, and only on Clang. This lint is
+the textual companion that enforces what the compiler can't:
+
+  raw-mutex          No raw standard synchronization type (std::mutex,
+                     std::shared_mutex, std::lock_guard, std::unique_lock,
+                     std::condition_variable, ...) anywhere in src/ outside
+                     thread_annotations.h. Raw primitives carry no
+                     capability, so the analysis is blind to them.
+  raw-lock-call      No direct .lock()/.unlock()/.try_lock()/.lock_shared()
+                     calls in src/ outside thread_annotations.h — lock
+                     acquisition must go through the annotated API so every
+                     acquire/release is visible to the analysis.
+  unannotated-atomic Every std::atomic declaration in src/ must carry a
+                     `// atomic:` rationale comment (same line or the
+                     comment block directly above) explaining why lock-free
+                     access and the chosen ordering are correct.
+  relaxed-order      memory_order_relaxed only in the allowlisted files
+                     (monotonic statistics counters and on/off gates whose
+                     rationale comments justify it). New relaxed atomics
+                     need a reviewed allowlist entry, not a drive-by.
+  sleep-sync         No sleep-based synchronization in src/ (sleep_for,
+                     sleep_until, usleep, nanosleep): waiting must use a
+                     CondVar or join, never a timing guess.
+
+Violations print as file:line: [rule] message; exit code 1 if any.
+`// NOLINT(xvm-locks): <reason>` on the offending line suppresses any rule.
+Like tools/lint_status.py, the sweep is textual by design: no compiler
+dependency, runs in milliseconds as a ctest test, and sees every
+configuration including code compiled out of the current build.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# The lint governs the library itself. tests/ and bench/ may use raw std
+# primitives (they drive the library from outside and gtest/benchmark idiom
+# expects std types), but src/ must be wrapper-only.
+SCAN_DIRS = ("src",)
+SUPPRESS = "NOLINT(xvm-locks)"
+
+# The one file allowed to spell the raw primitives: it defines the wrappers.
+WRAPPER_HEADER = os.path.join("src", "common", "thread_annotations.h")
+
+# Files whose atomics may use memory_order_relaxed; each already carries an
+# `// atomic:` rationale justifying it (gates and monotonic counters).
+RELAXED_ALLOWLIST = {
+    os.path.join("src", "common", "invariant.cc"),
+    os.path.join("src", "store", "valcont_cache.h"),
+    os.path.join("src", "store", "valcont_cache.cc"),
+}
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex|lock_guard|unique_lock|"
+    r"scoped_lock|shared_lock|condition_variable|condition_variable_any)\b"
+)
+
+RAW_LOCK_CALL_RE = re.compile(
+    r"[.\->]\s*(?:lock|unlock|try_lock|lock_shared|unlock_shared|"
+    r"try_lock_shared)\s*\("
+)
+
+ATOMIC_DECL_RE = re.compile(r"\bstd::atomic(?:<|_)")
+
+RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
+
+SLEEP_RE = re.compile(
+    r"\b(?:sleep_for|sleep_until|usleep|nanosleep)\s*\(|\bstd::this_thread\b"
+)
+
+ATOMIC_RATIONALE = "atomic:"
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments, string and char literals, preserving newlines and
+    column positions, so regexes never match inside them."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_source_files(root):
+    for d in SCAN_DIRS:
+        base = os.path.join(root, d)
+        for dirpath, _, filenames in os.walk(base):
+            for f in sorted(filenames):
+                if f.endswith((".h", ".cc")):
+                    yield os.path.join(dirpath, f)
+
+
+def line_of(code, idx):
+    return code.count("\n", 0, idx) + 1
+
+
+def suppressed(raw_lines, lineno):
+    line = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+    return SUPPRESS in line
+
+
+def has_atomic_rationale(raw_lines, lineno):
+    """True if the declaration line, the comment block directly above it, or
+    a rationale heading a contiguous run of atomic declarations (one comment
+    may cover a group of counters declared back to back) carries
+    `// atomic:`."""
+    if ATOMIC_RATIONALE in raw_lines[lineno - 1]:
+        return True
+    k = lineno - 2  # zero-based index of the line above
+    while k >= 0:
+        stripped = raw_lines[k].strip()
+        if stripped.startswith("//"):
+            if ATOMIC_RATIONALE in stripped:
+                return True
+            k -= 1
+        elif "std::atomic" in stripped:
+            k -= 1  # part of the same declaration run; keep walking up
+        else:
+            return False
+    return False
+
+
+def sweep_file(rel, code, raw_lines, violations):
+    is_wrapper = rel == WRAPPER_HEADER
+
+    if not is_wrapper:
+        for m in RAW_MUTEX_RE.finditer(code):
+            lineno = line_of(code, m.start())
+            if suppressed(raw_lines, lineno):
+                continue
+            violations.append(
+                (rel, lineno, "raw-mutex",
+                 f"raw '{m.group(0)}' — use the annotated wrappers of "
+                 f"common/thread_annotations.h (Mutex/SharedMutex/MutexLock/"
+                 f"CondVar)")
+            )
+        for m in RAW_LOCK_CALL_RE.finditer(code):
+            lineno = line_of(code, m.start())
+            if suppressed(raw_lines, lineno):
+                continue
+            violations.append(
+                (rel, lineno, "raw-lock-call",
+                 "direct lock-API call — acquire/release must go through the "
+                 "annotated wrappers so -Wthread-safety sees it")
+            )
+
+    for m in ATOMIC_DECL_RE.finditer(code):
+        lineno = line_of(code, m.start())
+        if suppressed(raw_lines, lineno):
+            continue
+        if not has_atomic_rationale(raw_lines, lineno):
+            violations.append(
+                (rel, lineno, "unannotated-atomic",
+                 "std::atomic without an '// atomic:' rationale comment "
+                 "(same line or the comment block directly above) stating "
+                 "why lock-free access and the ordering are correct")
+            )
+
+    if rel not in RELAXED_ALLOWLIST:
+        for m in RELAXED_RE.finditer(code):
+            lineno = line_of(code, m.start())
+            if suppressed(raw_lines, lineno):
+                continue
+            violations.append(
+                (rel, lineno, "relaxed-order",
+                 "memory_order_relaxed outside the allowlist "
+                 "(tools/lint_locks.py RELAXED_ALLOWLIST) — justify the "
+                 "ordering and add the file deliberately")
+            )
+
+    for m in SLEEP_RE.finditer(code):
+        lineno = line_of(code, m.start())
+        if suppressed(raw_lines, lineno):
+            continue
+        violations.append(
+            (rel, lineno, "sleep-sync",
+             "sleep-based synchronization — wait on a CondVar (or join) "
+             "instead of guessing a duration")
+        )
+
+
+def run(root):
+    """Sweeps the tree under `root`; returns the violation list."""
+    root = os.path.abspath(root)
+    violations = []
+    count = 0
+    for path in iter_source_files(root):
+        try:
+            with open(path, encoding="utf-8") as f:
+                raw = f.read()
+        except OSError as e:
+            raise RuntimeError(f"{path}: unreadable: {e}")
+        count += 1
+        rel = os.path.relpath(path, root)
+        sweep_file(rel, strip_comments_and_strings(raw), raw.split("\n"),
+                   violations)
+    return violations, count
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (contains src/)")
+    args = parser.parse_args()
+
+    try:
+        violations, count = run(args.root)
+    except RuntimeError as e:
+        print(str(e), file=sys.stderr)
+        return 2
+
+    for rel, lineno, rule, msg in sorted(violations):
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    if violations:
+        print(f"lint_locks: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"lint_locks: OK ({count} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

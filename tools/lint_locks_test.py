@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint_locks.py (registered as the lint_locks_selftest
+ctest): builds a throwaway src/ tree of fixture files, runs the sweep
+in-process, and asserts each rule fires exactly where intended — and stays
+quiet on disciplined code. Mirrors the fixture style of the negative
+compile tests under tests/thread_safety/."""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import lint_locks  # noqa: E402
+
+
+def sweep(files):
+    """files: {relative-path-under-src: content}. Returns rule names keyed by
+    relative path."""
+    with tempfile.TemporaryDirectory() as root:
+        for rel, content in files.items():
+            path = os.path.join(root, "src", rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+        violations, _ = lint_locks.run(root)
+    found = {}
+    for rel, lineno, rule, _msg in violations:
+        found.setdefault(rel.removeprefix("src" + os.sep), []).append(
+            (rule, lineno))
+    return found
+
+
+class LintLocksTest(unittest.TestCase):
+    def test_raw_lock_guard_is_flagged(self):
+        found = sweep({
+            "a/a.cc": "#include <mutex>\n"
+                      "std::mutex mu;\n"
+                      "void F() { std::lock_guard<std::mutex> l(mu); }\n"
+        })
+        rules = [r for r, _ in found.get(os.path.join("a", "a.cc"), [])]
+        self.assertIn("raw-mutex", rules)
+
+    def test_raw_lock_call_is_flagged(self):
+        found = sweep({
+            "a/a.cc": "void F(M& mu) { mu.lock(); mu.unlock(); }\n"
+                      "void G(M* mu) { mu->try_lock(); }\n"
+        })
+        rules = [r for r, _ in found.get(os.path.join("a", "a.cc"), [])]
+        self.assertEqual(rules.count("raw-lock-call"), 3)
+
+    def test_unannotated_atomic_is_flagged(self):
+        found = sweep({
+            "a/a.h": "#include <atomic>\n"
+                     "struct S { std::atomic<int> n{0}; };\n"
+        })
+        rules = [r for r, _ in found.get(os.path.join("a", "a.h"), [])]
+        self.assertIn("unannotated-atomic", rules)
+
+    def test_atomic_with_rationale_passes(self):
+        found = sweep({
+            "a/a.h": "#include <atomic>\n"
+                     "struct S {\n"
+                     "  // atomic: monotonic counter, totals only; relaxed\n"
+                     "  // is exact for sums.\n"
+                     "  std::atomic<int> n{0};\n"
+                     "  std::atomic<int> m{0};  // atomic: same as above\n"
+                     "};\n"
+        })
+        self.assertEqual(found, {})
+
+    def test_rationale_covers_contiguous_atomic_run(self):
+        found = sweep({
+            "a/a.h": "#include <atomic>\n"
+                     "struct S {\n"
+                     "  // atomic: monotonic counters; relaxed totals.\n"
+                     "  std::atomic<int> a{0};\n"
+                     "  std::atomic<int> b{0};\n"
+                     "  int plain = 0;\n"
+                     "  std::atomic<int> uncovered{0};\n"
+                     "};\n"
+        })
+        rules = found.get(os.path.join("a", "a.h"), [])
+        self.assertEqual(rules, [("unannotated-atomic", 7)])
+
+    def test_relaxed_outside_allowlist_is_flagged(self):
+        found = sweep({
+            "a/a.cc": "#include <atomic>\n"
+                      "// atomic: test fixture\n"
+                      "std::atomic<int> n{0};\n"
+                      "int F() { return n.load(std::memory_order_relaxed); }\n"
+        })
+        rules = [r for r, _ in found.get(os.path.join("a", "a.cc"), [])]
+        self.assertIn("relaxed-order", rules)
+
+    def test_relaxed_in_allowlisted_file_passes(self):
+        rel = os.path.relpath(
+            next(iter(lint_locks.RELAXED_ALLOWLIST)), "src")
+        found = sweep({
+            rel: "#include <atomic>\n"
+                 "// atomic: allowlisted gate\n"
+                 "std::atomic<int> n{0};\n"
+                 "int F() { return n.load(std::memory_order_relaxed); }\n"
+        })
+        rules = [r for r, _ in found.get(rel, [])]
+        self.assertNotIn("relaxed-order", rules)
+
+    def test_sleep_sync_is_flagged(self):
+        found = sweep({
+            "a/a.cc": "#include <thread>\n"
+                      "void F() {\n"
+                      "  std::this_thread::sleep_for(kPollInterval);\n"
+                      "}\n"
+        })
+        rules = [r for r, _ in found.get(os.path.join("a", "a.cc"), [])]
+        self.assertIn("sleep-sync", rules)
+
+    def test_wrapper_header_may_use_raw_primitives(self):
+        found = sweep({
+            "common/thread_annotations.h":
+                "#include <mutex>\n"
+                "class Mutex { std::mutex mu_; };\n"
+                "void F(Mutex& m);\n"
+        })
+        self.assertEqual(found, {})
+
+    def test_comments_and_strings_do_not_match(self):
+        found = sweep({
+            "a/a.cc": "// std::mutex in a comment is fine\n"
+                      "/* so is std::lock_guard here */\n"
+                      "const char* kMsg = \"std::mutex\";\n"
+        })
+        self.assertEqual(found, {})
+
+    def test_nolint_suppresses(self):
+        found = sweep({
+            "a/a.cc": "std::mutex mu;  // NOLINT(xvm-locks): FFI boundary\n"
+        })
+        self.assertEqual(found, {})
+
+    def test_migrated_wrappers_pass_clean(self):
+        found = sweep({
+            "a/a.h": "#include \"common/thread_annotations.h\"\n"
+                     "class C {\n"
+                     "  xvm::Mutex mu_;\n"
+                     "  int n_ XVM_GUARDED_BY(mu_) = 0;\n"
+                     " public:\n"
+                     "  void Bump() { xvm::MutexLock lock(mu_); ++n_; }\n"
+                     "};\n"
+        })
+        self.assertEqual(found, {})
+
+
+class LintLocksRealTreeTest(unittest.TestCase):
+    def test_real_tree_is_clean(self):
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        violations, count = lint_locks.run(root)
+        self.assertEqual(
+            violations, [],
+            "\n".join(f"{r}:{l}: [{rule}] {m}"
+                      for r, l, rule, m in violations))
+        self.assertGreater(count, 50)
+
+
+if __name__ == "__main__":
+    unittest.main()
