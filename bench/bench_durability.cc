@@ -1,0 +1,129 @@
+// Durability micro-benchmarks (not paper figures; the paper positions the
+// engine as "a good candidate to be integrated within a persistent XML
+// database", and these quantify what that persistence layer costs):
+//
+//  A. WAL append throughput — fsynced statement logging is on the critical
+//     path of every update, so its per-record latency bounds the durable
+//     update rate.
+//  B. Checkpoint latency — document snapshot + per-view snapshots + manifest
+//     commit, as a function of document size.
+//  C. Recovery latency — checkpoint load + store rebuild + WAL tail replay,
+//     the crash-restart cost.
+
+#include "bench_util.h"
+
+#include <cstdio>
+
+#include "common/file_io.h"
+#include "common/timing.h"
+#include "view/wal.h"
+
+namespace xvm::bench {
+namespace {
+
+std::string BenchDir() {
+  const std::string dir = "/tmp/xvm_bench_durability";
+  XVM_CHECK(EnsureDir(dir).ok());
+  return dir;
+}
+
+void Wipe(const std::string& dir) {
+  auto listed = ListDir(dir);
+  if (!listed.ok()) return;
+  for (const std::string& name : *listed) {
+    Status st = RemoveFileIfExists(dir + "/" + name);
+    if (!st.ok()) std::fprintf(stderr, "wipe: %s\n", st.ToString().c_str());
+  }
+}
+
+void BenchWalAppend() {
+  PrintBanner("Durability A", "WAL append+fsync throughput");
+  const std::string dir = BenchDir();
+  Wipe(dir);
+  auto u = FindXMarkUpdate("X2_L");
+  XVM_CHECK(u.ok());
+  const UpdateStmt stmt = MakeInsertStmt(*u);
+
+  const int n = 200 * std::max(1, Reps());
+  WriteAheadLog wal;
+  XVM_CHECK(wal.OpenLog(dir + "/bench.wal").ok());
+  WallTimer timer;
+  for (int i = 0; i < n; ++i) {
+    XVM_CHECK(wal.Append(static_cast<uint64_t>(i) + 1, stmt).ok());
+  }
+  const double ms = timer.ElapsedMs();
+  PrintKv("append_ms_avg", ms / n);
+  std::printf("%-28s %10.0f /s  (%d records, %.1f KB)\n", "append_rate",
+              1000.0 * n / ms, n, wal.durable_size() / 1024.0);
+  Wipe(dir);
+}
+
+void BenchCheckpointAndRecover() {
+  PrintBanner("Durability B/C", "checkpoint + recovery latency vs doc size");
+  std::printf("%-10s %14s %14s %14s\n", "doc_kb", "checkpoint_ms",
+              "recover_ms", "replay_ms");
+  for (size_t paper_kb : {256, 1024, 4096}) {
+    const size_t bytes = ScaledBytes(paper_kb);
+    const std::string dir = BenchDir();
+
+    auto make = [&](bool initial) {
+      struct Rig {
+        std::unique_ptr<Document> doc;
+        std::unique_ptr<StoreIndex> store;
+        std::unique_ptr<ViewManager> mgr;
+      } r;
+      r.doc = std::make_unique<Document>();
+      if (initial) GenerateXMark(XMarkConfig{bytes, 7}, r.doc.get());
+      r.store = std::make_unique<StoreIndex>(r.doc.get());
+      if (initial) r.store->Build();
+      r.mgr = std::make_unique<ViewManager>(r.doc.get(), r.store.get());
+      for (const char* name : {"Q1", "Q2", "Q17"}) {
+        auto def = XMarkView(name);
+        XVM_CHECK(def.ok());
+        r.mgr->AddView(std::move(def).value(), LatticeStrategy::kSnowcaps);
+      }
+      return r;
+    };
+
+    double ckpt_ms = 0, recover_ms = 0, replay_ms = 0;
+    for (int rep = 0; rep < Reps(); ++rep) {
+      Wipe(dir);
+      auto rig = make(true);
+      XVM_CHECK(rig.mgr->EnableDurability(dir).ok());
+
+      WallTimer ckpt;
+      XVM_CHECK(rig.mgr->Checkpoint(dir).ok());
+      ckpt_ms += ckpt.ElapsedMs();
+
+      // Pure checkpoint load (empty WAL).
+      rig = make(false);
+      WallTimer rec;
+      XVM_CHECK(rig.mgr->Recover(dir).ok());
+      recover_ms += rec.ElapsedMs();
+
+      // Recovery with a WAL tail: two statements past the checkpoint.
+      for (const char* uname : {"X1_L", "X2_L"}) {
+        auto u = FindXMarkUpdate(uname);
+        XVM_CHECK(u.ok());
+        auto out = rig.mgr->ApplyAndPropagateAll(MakeInsertStmt(*u));
+        XVM_CHECK(out.ok());
+      }
+      rig = make(false);
+      WallTimer rep_timer;
+      XVM_CHECK(rig.mgr->Recover(dir).ok());
+      replay_ms += rep_timer.ElapsedMs();
+    }
+    std::printf("%-10zu %14.2f %14.2f %14.2f\n", bytes / 1024,
+                ckpt_ms / Reps(), recover_ms / Reps(), replay_ms / Reps());
+    Wipe(dir);
+  }
+}
+
+}  // namespace
+}  // namespace xvm::bench
+
+int main() {
+  xvm::bench::BenchWalAppend();
+  xvm::bench::BenchCheckpointAndRecover();
+  return 0;
+}

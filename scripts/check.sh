@@ -13,8 +13,14 @@
 #      actually rejects violations. Skipped with a notice when no clang++
 #      is installed (the annotations are no-ops elsewhere).
 #   4. ASan+UBSan build (-DXVM_SANITIZE=address) + full ctest run.
-#   5. TSan build (-DXVM_SANITIZE=thread) + full ctest run.
-#   6. TSan re-run of the val/cont cache stress test with the cache forced
+#   5. Crash-matrix leg: an explicit ASan re-run of the durability suites —
+#      the fault-injection matrix forks one child per fault-point
+#      occurrence (torn writes, missed fsyncs, kills between rename and
+#      directory fsync, mid-checkpoint and mid-WAL-append crashes) and
+#      asserts that recovery equals a full recompute and never damages the
+#      previous checkpoint.
+#   6. TSan build (-DXVM_SANITIZE=thread) + full ctest run.
+#   7. TSan re-run of the val/cont cache stress test with the cache forced
 #      on (XVM_CONT_CACHE=1), so the striped-lock cache is raced by the
 #      parallel ViewManager regardless of the build's compiled default.
 #
@@ -104,6 +110,13 @@ run_config() {
 }
 
 run_config address build-asan
+
+step "crash matrix (address sanitizer, fault injection)"
+XVM_CHECK_INVARIANTS=1 \
+  ctest --test-dir build-asan \
+        -R 'CrashMatrix|Durability|WalTest|WalCodec|PersistSaveFailure|PersistAdversarial|DocSnapshot' \
+        --output-on-failure -j "$JOBS"
+
 run_config thread build-tsan
 
 step "cache stress (thread sanitizer, cache forced on)"

@@ -68,7 +68,9 @@ bool Value::DecodeFrom(const std::string& data, size_t* pos, Value* out) {
     case ValueKind::kId: {
       uint64_t len = 0;
       if (!GetVarint64(data, pos, &len)) return false;
-      if (*pos + len > data.size()) return false;
+      // Compare against the remaining bytes: `*pos + len` wraps for crafted
+      // lengths near UINT64_MAX and would pass the check.
+      if (len > data.size() - *pos) return false;
       DeweyId id;
       if (!DeweyId::Decode(data.substr(*pos, len), &id)) return false;
       *pos += len;
@@ -78,7 +80,7 @@ bool Value::DecodeFrom(const std::string& data, size_t* pos, Value* out) {
     case ValueKind::kString: {
       uint64_t len = 0;
       if (!GetVarint64(data, pos, &len)) return false;
-      if (*pos + len > data.size()) return false;
+      if (len > data.size() - *pos) return false;  // overflow-safe bound
       *out = Value(data.substr(*pos, len));
       *pos += len;
       return true;

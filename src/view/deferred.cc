@@ -1,5 +1,9 @@
 #include "view/deferred.h"
 
+#include <algorithm>
+
+#include "view/persist.h"
+
 namespace xvm {
 
 DeferredView::DeferredView(ViewDefinition def, Document* doc,
@@ -14,6 +18,13 @@ Status DeferredView::Apply(const UpdateStmt& stmt) {
     // sign each. Use MaintainedView/ViewManager for replace statements.
     return Status::Unimplemented("deferred maintenance of replace");
   }
+  // Durable-before-visible: the statement reaches the fsynced log before
+  // the document mutates, so a crash while it is queued (the window lazy
+  // maintenance deliberately stretches) cannot lose it.
+  if (wal_ != nullptr && wal_->is_open()) {
+    XVM_RETURN_IF_ERROR(wal_->Append(seq_ + 1, stmt));
+  }
+  ++seq_;
   XVM_ASSIGN_OR_RETURN(Pul pul, ComputePul(*doc_, stmt, &timing_));
   PendingUpdate pending;
   pending.kind = stmt.kind;
@@ -72,6 +83,23 @@ void DeferredView::Flush() {
 const MaterializedView& DeferredView::Read() {
   Flush();
   return inner_.view();
+}
+
+Status DeferredView::AttachWal(const std::string& path) {
+  auto wal = std::make_unique<WriteAheadLog>();
+  XVM_RETURN_IF_ERROR(wal->OpenLog(path));
+  wal_ = std::move(wal);
+  seq_ = std::max(seq_, wal_->last_lsn());
+  return Status::Ok();
+}
+
+Status DeferredView::Checkpoint(const std::string& view_path) {
+  Flush();
+  XVM_RETURN_IF_ERROR(SaveViewToFile(inner_, view_path));
+  if (wal_ != nullptr && wal_->is_open()) {
+    XVM_RETURN_IF_ERROR(wal_->Truncate());
+  }
+  return Status::Ok();
 }
 
 }  // namespace xvm

@@ -3,9 +3,11 @@
 
 #include <deque>
 #include <memory>
+#include <string>
 
 #include "common/status.h"
 #include "view/maintain.h"
+#include "view/wal.h"
 
 namespace xvm {
 
@@ -45,6 +47,27 @@ class DeferredView {
   /// Accumulated propagation timing across flushes.
   const PhaseTimer& timing() const { return timing_; }
 
+  /// -- Durability --
+  ///
+  /// The deferred queue is exactly the state the paper's §5 lazy mode keeps
+  /// in memory, so it is exactly what a crash loses. Attaching a WAL makes
+  /// every subsequent Apply() append + fsync the statement *before* the
+  /// document is touched; recovery is the owner's job: rebuild the document
+  /// and store, Initialize() or load a checkpoint, then re-Apply() every
+  /// record of WriteAheadLog::ReadLog(path) with an LSN above the
+  /// checkpoint's.
+  Status AttachWal(const std::string& path);
+
+  /// Flushes the queue, atomically saves the view snapshot to `view_path`
+  /// (view/persist.h) and truncates the attached WAL (if any). The snapshot
+  /// is written before the truncation, so a crash in between only means
+  /// some records get replayed onto an already-current view — which the
+  /// owner detects via last_sequence().
+  Status Checkpoint(const std::string& view_path);
+
+  /// LSN of the last applied statement (0 before any).
+  uint64_t last_sequence() const { return seq_; }
+
  private:
   struct PendingUpdate {
     UpdateStmt::Kind kind;
@@ -58,6 +81,8 @@ class DeferredView {
   StoreIndex* store_;
   std::deque<PendingUpdate> queue_;
   PhaseTimer timing_;
+  std::unique_ptr<WriteAheadLog> wal_;  // null until AttachWal
+  uint64_t seq_ = 0;
 };
 
 }  // namespace xvm

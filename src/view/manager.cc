@@ -1,12 +1,97 @@
 #include "view/manager.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/file_io.h"
 #include "common/invariant.h"
+#include "common/varint.h"
 #include "store/audit.h"
 #include "view/audit.h"
+#include "view/persist.h"
 
 namespace xvm {
+
+namespace {
+
+constexpr char kManifestFile[] = "MANIFEST";
+constexpr char kWalFile[] = "wal.log";
+constexpr char kManifestMagic[] = "XVMM";
+constexpr uint64_t kManifestVersion = 1;
+constexpr size_t kChecksumBytes = 8;
+
+/// The committed state of one checkpoint generation: which snapshot files
+/// are current and up to which LSN their content reaches. Committed last
+/// (atomically), so the files it names are always complete.
+struct Manifest {
+  uint64_t gen = 0;
+  uint64_t last_lsn = 0;
+  std::string doc_file;
+  std::vector<std::pair<std::string, std::string>> views;  // name -> file
+};
+
+std::string EncodeManifest(const Manifest& m) {
+  std::string out;
+  out.append(kManifestMagic, 4);
+  PutVarint64(&out, kManifestVersion);
+  PutVarint64(&out, m.gen);
+  PutVarint64(&out, m.last_lsn);
+  PutLengthPrefixed(&out, m.doc_file);
+  PutVarint64(&out, m.views.size());
+  for (const auto& [name, file] : m.views) {
+    PutLengthPrefixed(&out, name);
+    PutLengthPrefixed(&out, file);
+  }
+  AppendChecksum64(&out);
+  return out;
+}
+
+Status DecodeManifest(const std::string& bytes, Manifest* m) {
+  if (bytes.substr(0, 4) != kManifestMagic) {
+    return Status::InvalidArgument("bad magic: not an xvm checkpoint manifest");
+  }
+  size_t pos = 4;
+  if (bytes.size() < pos + kChecksumBytes || !VerifyChecksum64(bytes)) {
+    return Status::InvalidArgument(
+        "manifest checksum mismatch: truncated or corrupted");
+  }
+  const size_t payload_end = bytes.size() - kChecksumBytes;
+  uint64_t version = 0;
+  if (!GetVarint64(bytes, &pos, &version)) {
+    return Status::InvalidArgument("truncated manifest");
+  }
+  if (version != kManifestVersion) {
+    return Status::InvalidArgument("unsupported manifest version " +
+                                   std::to_string(version));
+  }
+  Manifest out;
+  uint64_t view_count = 0;
+  if (!GetVarint64(bytes, &pos, &out.gen) ||
+      !GetVarint64(bytes, &pos, &out.last_lsn) ||
+      !GetLengthPrefixed(bytes, &pos, &out.doc_file) ||
+      !GetVarint64(bytes, &pos, &view_count)) {
+    return Status::InvalidArgument("truncated manifest");
+  }
+  if (view_count > bytes.size() - pos) {  // each entry is ≥ 2 bytes
+    return Status::InvalidArgument("implausible manifest view count");
+  }
+  out.views.reserve(view_count);
+  for (uint64_t i = 0; i < view_count; ++i) {
+    std::string name, file;
+    if (!GetLengthPrefixed(bytes, &pos, &name) ||
+        !GetLengthPrefixed(bytes, &pos, &file)) {
+      return Status::InvalidArgument("truncated manifest view entry");
+    }
+    out.views.emplace_back(std::move(name), std::move(file));
+  }
+  if (pos != payload_end) {
+    return Status::InvalidArgument("trailing bytes after manifest");
+  }
+  *m = std::move(out);
+  return Status::Ok();
+}
+
+}  // namespace
 
 size_t ViewManager::AddView(ViewDefinition def, LatticeStrategy strategy) {
   views_.push_back(
@@ -50,6 +135,17 @@ void ViewManager::RunPerView(const std::function<void(size_t)>& fn) {
 
 StatusOr<MultiUpdateOutcome> ViewManager::ApplyAndPropagateAll(
     const UpdateStmt& stmt) {
+  // Log-before-touch: the statement must be durable before any effect lands
+  // on the document, so a crash anywhere below is replayed from the WAL.
+  // During recovery replay the record is already in the log.
+  if (!replaying_) {
+    const uint64_t lsn = seq_ + 1;
+    if (wal_ != nullptr && wal_->is_open()) {
+      XVM_RETURN_IF_ERROR(wal_->Append(lsn, stmt));
+    }
+    seq_ = lsn;
+  }
+
   MultiUpdateOutcome out;
   out.per_view.resize(views_.size());
   out.workers = workers_;
@@ -123,6 +219,137 @@ StatusOr<MultiUpdateOutcome> ViewManager::ApplyAndPropagateAll(
   MaybeAuditAfterStatement();
   RecordMetrics(out);
   return out;
+}
+
+Status ViewManager::EnableDurability(const std::string& dir) {
+  XVM_RETURN_IF_ERROR(EnsureDir(dir));
+  if (!recovered_ && FileExists(dir + "/" + kManifestFile)) {
+    return Status::FailedPrecondition(
+        dir + " holds a checkpoint this manager never loaded; call "
+        "Recover() instead of EnableDurability()");
+  }
+  auto wal = std::make_unique<WriteAheadLog>();
+  XVM_RETURN_IF_ERROR(wal->OpenLog(dir + "/" + kWalFile));
+  wal_ = std::move(wal);
+  // Continue the LSN sequence after any records already in the log.
+  seq_ = std::max(seq_, wal_->last_lsn());
+  dur_dir_ = dir;
+  return Status::Ok();
+}
+
+Status ViewManager::Checkpoint(const std::string& dir) {
+  XVM_RETURN_IF_ERROR(EnsureDir(dir));
+  XVM_FAULT_POINT("checkpoint:begin");
+
+  // New-generation snapshot files first. Until the manifest below commits,
+  // none of them is reachable, so a crash here costs nothing: the previous
+  // manifest still names only previous-generation files, which this
+  // generation never touches.
+  Manifest m;
+  m.gen = ckpt_gen_ + 1;
+  m.last_lsn = seq_;
+  m.doc_file = "doc-" + std::to_string(m.gen) + ".ckpt";
+  XVM_RETURN_IF_ERROR(
+      AtomicWriteFile(dir + "/" + m.doc_file, SaveDocumentToBytes(*doc_)));
+  for (size_t i = 0; i < views_.size(); ++i) {
+    std::string file =
+        "view-" + std::to_string(m.gen) + "-" + std::to_string(i) + ".ckpt";
+    XVM_RETURN_IF_ERROR(
+        AtomicWriteFile(dir + "/" + file, SaveViewToBytes(*views_[i])));
+    m.views.emplace_back(views_[i]->def().name(), std::move(file));
+  }
+
+  XVM_FAULT_POINT("checkpoint:before_manifest");
+  // Commit point: the atomic manifest replacement flips recovery from the
+  // old generation to this one in a single step.
+  XVM_RETURN_IF_ERROR(
+      AtomicWriteFile(dir + "/" + kManifestFile, EncodeManifest(m)));
+  ckpt_gen_ = m.gen;
+
+  XVM_FAULT_POINT("checkpoint:before_wal_truncate");
+  // A crash before this Truncate leaves already-checkpointed records in the
+  // log; recovery skips them because their LSNs are ≤ the manifest's.
+  if (wal_ != nullptr && wal_->is_open() && dir == dur_dir_) {
+    XVM_RETURN_IF_ERROR(wal_->Truncate());
+  }
+
+  // Best-effort sweep of superseded generations and orphaned temp files;
+  // failures are ignored (they only cost disk until the next checkpoint).
+  StatusOr<std::vector<std::string>> listed = ListDir(dir);
+  if (listed.ok()) {
+    for (const std::string& name : *listed) {
+      const bool current =
+          name == m.doc_file ||
+          std::any_of(m.views.begin(), m.views.end(),
+                      [&](const auto& v) { return v.second == name; });
+      const bool tmp = name.size() > 4 &&
+                       name.compare(name.size() - 4, 4, ".tmp") == 0;
+      const bool ckpt = name.size() > 5 &&
+                        name.compare(name.size() - 5, 5, ".ckpt") == 0;
+      if (tmp || (ckpt && !current)) {
+        Status removed = RemoveFileIfExists(dir + "/" + name);
+        if (!removed.ok()) continue;  // swept again next checkpoint
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ViewManager::Recover(const std::string& dir) {
+  XVM_RETURN_IF_ERROR(EnsureDir(dir));
+
+  std::string manifest_bytes;
+  Status manifest_read =
+      ReadFileToString(dir + "/" + kManifestFile, &manifest_bytes);
+  if (manifest_read.ok()) {
+    Manifest m;
+    XVM_RETURN_IF_ERROR(DecodeManifest(manifest_bytes, &m));
+    std::string doc_bytes;
+    XVM_RETURN_IF_ERROR(ReadFileToString(dir + "/" + m.doc_file, &doc_bytes));
+    XVM_RETURN_IF_ERROR(LoadDocumentFromBytes(doc_bytes, doc_));
+    store_->Build();
+    for (auto& v : views_) {
+      const std::string* file = nullptr;
+      for (const auto& [name, f] : m.views) {
+        if (name == v->def().name()) {
+          file = &f;
+          break;
+        }
+      }
+      // A missing or invalid view snapshot never blocks recovery: the
+      // restored document + store are authoritative, so fall back to a
+      // full recompute of just that view.
+      Status loaded = file == nullptr
+                          ? Status::NotFound("view not in manifest")
+                          : LoadViewFromFile(dir + "/" + *file, v.get());
+      if (!loaded.ok()) v->RecomputeFromStore();
+    }
+    ckpt_gen_ = m.gen;
+    seq_ = m.last_lsn;
+  } else if (manifest_read.code() != StatusCode::kNotFound) {
+    return manifest_read;
+  }
+  // No manifest: WAL-only recovery — replay onto the caller's initial state.
+
+  auto wal = std::make_unique<WriteAheadLog>();
+  XVM_RETURN_IF_ERROR(wal->OpenLog(dir + "/" + kWalFile));
+  XVM_ASSIGN_OR_RETURN(std::vector<WalRecord> records, wal->ReadAll());
+  replaying_ = true;
+  for (const WalRecord& rec : records) {
+    if (rec.lsn <= seq_) continue;  // already inside the checkpoint
+    seq_ = rec.lsn;
+    // A statement that fails here (e.g. its target path matches nothing)
+    // failed identically before the crash — after the WAL append, execution
+    // is deterministic — so its original run also had no effect.
+    StatusOr<MultiUpdateOutcome> replayed = ApplyAndPropagateAll(rec.stmt);
+    if (!replayed.ok()) continue;
+  }
+  replaying_ = false;
+  wal_ = std::move(wal);
+  seq_ = std::max(seq_, wal_->last_lsn());
+  dur_dir_ = dir;
+  recovered_ = true;
+  return Status::Ok();
 }
 
 void ViewManager::MaybeAuditAfterStatement() {

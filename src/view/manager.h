@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/threadpool.h"
 #include "view/maintain.h"
+#include "view/wal.h"
 
 namespace xvm {
 
@@ -94,7 +95,42 @@ class ViewManager {
   /// registered view. Handles insert, delete and replace statements —
   /// a replace PUL both deletes and inserts, so the Δ− pass runs first and
   /// the Δ+ pass excludes R-side bindings under the replaced subtrees.
+  ///
+  /// With durability enabled the statement is appended to the WAL and
+  /// fsynced *before* the document is touched, so a crash anywhere inside
+  /// this call is recovered by replaying the statement.
   StatusOr<MultiUpdateOutcome> ApplyAndPropagateAll(const UpdateStmt& stmt);
+
+  /// -- Durability (view/persist.h + view/wal.h + common/file_io.h) --
+  ///
+  /// Enables write-ahead logging into `dir` (created if absent): every
+  /// subsequent statement is durable before it executes. Refuses with
+  /// FailedPrecondition when `dir` already holds a checkpoint manifest and
+  /// this manager has not recovered from it — silently logging on top of a
+  /// state that was never loaded would corrupt recovery.
+  Status EnableDurability(const std::string& dir);
+
+  /// Writes a full checkpoint into `dir`: a document snapshot, one snapshot
+  /// per registered view, and a manifest committed *last* — each via
+  /// AtomicWriteFile, so a crash at any point leaves the previous checkpoint
+  /// (or its absence) fully intact. After the manifest commits, the WAL (if
+  /// enabled on the same directory) is truncated; a crash in between is
+  /// handled by LSN-gated replay. Finishes by sweeping stale generations'
+  /// files. Callable with or without EnableDurability.
+  Status Checkpoint(const std::string& dir);
+
+  /// Restores state from `dir` and enables durability on it. Requires a
+  /// freshly-constructed document/store/manager with the final set of views
+  /// already registered (AddView over the empty document). Loads the newest
+  /// valid checkpoint (a view file that fails validation falls back to
+  /// recompute from the restored store), then replays every WAL record whose
+  /// LSN exceeds the checkpoint's. Missing manifest means WAL-only recovery:
+  /// replay onto the caller's initial state. Statement-level failures during
+  /// replay are skipped — they failed identically before the crash.
+  Status Recover(const std::string& dir);
+
+  /// LSN of the most recently applied (or replayed) statement; 0 initially.
+  uint64_t last_sequence() const { return seq_; }
 
  private:
   /// Runs fn(0..n-1) over the views, on the pool when workers_ > 1.
@@ -112,6 +148,14 @@ class ViewManager {
   std::unique_ptr<ThreadPool> pool_;  // lazily created when workers_ > 1
   MetricsRegistry* metrics_ = nullptr;
   uint64_t audit_seq_ = 0;  // statements audited (rotates view sampling)
+
+  /// Durability state (externally synchronized like the rest).
+  std::string dur_dir_;                 // empty = durability disabled
+  std::unique_ptr<WriteAheadLog> wal_;  // open iff durability enabled
+  uint64_t seq_ = 0;       // LSN of the last applied statement
+  uint64_t ckpt_gen_ = 0;  // generation of the last written/loaded checkpoint
+  bool recovered_ = false;  // Recover() ran (possibly finding nothing)
+  bool replaying_ = false;  // inside Recover's replay loop: skip WAL appends
   /// Cache totals at the previous RecordMetrics, so each statement reports
   /// only its own delta.
   ValContCache::Stats last_cache_stats_;

@@ -1,9 +1,10 @@
 #include "view/persist.h"
 
-#include <cstdio>
-#include <fstream>
-#include <sstream>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
 
+#include "common/file_io.h"
 #include "common/varint.h"
 
 namespace xvm {
@@ -16,31 +17,8 @@ constexpr char kMagic[] = "XVM2";
 constexpr uint64_t kFormatVersion = 2;
 constexpr size_t kChecksumBytes = 8;
 
-/// FNV-1a 64-bit over the whole prefix of the file (magic, version and
-/// payload). Appended as 8 little-endian trailing bytes so truncated or
-/// bit-flipped save files fail loudly instead of loading a corrupt view.
-uint64_t Fnv1a64(const char* data, size_t n) {
-  uint64_t h = 0xcbf29ce484222325ull;
-  for (size_t i = 0; i < n; ++i) {
-    h ^= static_cast<unsigned char>(data[i]);
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
-
-void PutString(std::string* out, const std::string& s) {
-  PutVarint64(out, s.size());
-  out->append(s);
-}
-
-bool GetString(const std::string& data, size_t* pos, std::string* out) {
-  uint64_t len = 0;
-  if (!GetVarint64(data, pos, &len)) return false;
-  if (*pos + len > data.size()) return false;
-  *out = data.substr(*pos, len);
-  *pos += len;
-  return true;
-}
+constexpr char kDocMagic[] = "XVMD";
+constexpr uint64_t kDocFormatVersion = 1;
 
 void PutTuple(std::string* out, const Tuple& t) {
   PutVarint64(out, t.size());
@@ -50,6 +28,10 @@ void PutTuple(std::string* out, const Tuple& t) {
 bool GetTuple(const std::string& data, size_t* pos, Tuple* t) {
   uint64_t n = 0;
   if (!GetVarint64(data, pos, &n)) return false;
+  // Every encoded Value takes at least one byte, so a count exceeding the
+  // remaining payload is a lie; checking (and bounding the reserve) before
+  // allocating defuses crafted counts near UINT64_MAX.
+  if (n > data.size() - *pos) return false;
   t->clear();
   t->reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
@@ -66,8 +48,8 @@ std::string SaveViewToBytes(const MaintainedView& view) {
   std::string out;
   out.append(kMagic);
   PutVarint64(&out, kFormatVersion);
-  PutString(&out, view.def().name());
-  PutString(&out, view.def().pattern().ToString());
+  PutLengthPrefixed(&out, view.def().name());
+  PutLengthPrefixed(&out, view.def().pattern().ToString());
 
   // View content.
   std::vector<CountedTuple> content = view.view().Snapshot();
@@ -87,10 +69,7 @@ std::string SaveViewToBytes(const MaintainedView& view) {
     for (const auto& row : sc.data.rows) PutTuple(&out, row);
   }
 
-  const uint64_t sum = Fnv1a64(out.data(), out.size());
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>((sum >> (8 * i)) & 0xFF));
-  }
+  AppendChecksum64(&out);
   return out;
 }
 
@@ -106,17 +85,11 @@ Status LoadViewFromBytes(const std::string& bytes, MaintainedView* view) {
   if (bytes.size() < pos + kChecksumBytes) {
     return Status::InvalidArgument("truncated view file: missing checksum");
   }
-  const size_t payload_end = bytes.size() - kChecksumBytes;
-  uint64_t stored_sum = 0;
-  for (size_t i = 0; i < kChecksumBytes; ++i) {
-    stored_sum |= static_cast<uint64_t>(
-                      static_cast<unsigned char>(bytes[payload_end + i]))
-                  << (8 * i);
-  }
-  if (Fnv1a64(bytes.data(), payload_end) != stored_sum) {
+  if (!VerifyChecksum64(bytes)) {
     return Status::InvalidArgument(
         "view file checksum mismatch: truncated or corrupted");
   }
+  const size_t payload_end = bytes.size() - kChecksumBytes;
   uint64_t version = 0;
   if (!GetVarint64(bytes, &pos, &version)) {
     return Status::InvalidArgument("truncated view header");
@@ -126,7 +99,8 @@ Status LoadViewFromBytes(const std::string& bytes, MaintainedView* view) {
                                    std::to_string(version));
   }
   std::string name, pattern_dsl;
-  if (!GetString(bytes, &pos, &name) || !GetString(bytes, &pos, &pattern_dsl)) {
+  if (!GetLengthPrefixed(bytes, &pos, &name) ||
+      !GetLengthPrefixed(bytes, &pos, &pattern_dsl)) {
     return Status::InvalidArgument("truncated view header");
   }
   if (name != view->def().name()) {
@@ -144,6 +118,11 @@ Status LoadViewFromBytes(const std::string& bytes, MaintainedView* view) {
   if (!GetVarint64(bytes, &pos, &tuple_count)) {
     return Status::InvalidArgument("truncated tuple count");
   }
+  // Each counted tuple occupies at least one byte of payload; a larger
+  // count cannot be honest, and reserving it would be an allocation bomb.
+  if (tuple_count > bytes.size() - pos) {
+    return Status::InvalidArgument("implausible view tuple count");
+  }
   std::vector<CountedTuple> content;
   content.reserve(tuple_count);
   const size_t want_cols = view->def().tuple_schema().size();
@@ -156,6 +135,13 @@ Status LoadViewFromBytes(const std::string& bytes, MaintainedView* view) {
     }
     if (ct.tuple.size() != want_cols) {
       return Status::InvalidArgument("saved tuple width mismatch");
+    }
+    // A tuple lives in the view while its derivation count is positive
+    // (MaterializedView invariant): zero would be a phantom tuple and
+    // anything ≥ 2^63 would turn negative in the cast below.
+    if (count == 0 ||
+        count > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+      return Status::InvalidArgument("saved derivation count out of range");
     }
     ct.count = static_cast<int64_t>(count);
     content.push_back(std::move(ct));
@@ -177,6 +163,9 @@ Status LoadViewFromBytes(const std::string& bytes, MaintainedView* view) {
     if (!GetVarint64(bytes, &pos, &bits)) {
       return Status::InvalidArgument("truncated snowcap node set");
     }
+    if (bits > bytes.size() - pos) {  // one byte per bit below
+      return Status::InvalidArgument("implausible snowcap node set size");
+    }
     NodeSet nodes(bits, false);
     for (uint64_t b = 0; b < bits; ++b) {
       if (pos >= bytes.size()) {
@@ -191,6 +180,9 @@ Status LoadViewFromBytes(const std::string& bytes, MaintainedView* view) {
     uint64_t rows = 0;
     if (!GetVarint64(bytes, &pos, &rows)) {
       return Status::InvalidArgument("truncated snowcap rows");
+    }
+    if (rows > bytes.size() - pos) {  // each row is at least one byte
+      return Status::InvalidArgument("implausible snowcap row count");
     }
     loaded[s].schema = snowcaps[s].layout.schema;
     loaded[s].rows.reserve(rows);
@@ -217,22 +209,166 @@ Status LoadViewFromBytes(const std::string& bytes, MaintainedView* view) {
   return Status::Ok();
 }
 
-Status SaveViewToFile(const MaintainedView& view, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::Internal("cannot open " + path + " for writing");
-  std::string bytes = SaveViewToBytes(view);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.close();
-  if (!out) return Status::Internal("short write to " + path);
+std::string SaveDocumentToBytes(const Document& doc) {
+  std::string out;
+  out.append(kDocMagic, 4);
+  PutVarint64(&out, kDocFormatVersion);
+
+  // Full label dictionary in id order — not just the labels of alive nodes.
+  // Stored view tuples embed LabelIds inside their Dewey IDs, and those ids
+  // are only reproducible if every interned label (including ones whose
+  // nodes were all deleted) keeps its position.
+  const LabelDict& dict = doc.dict();
+  PutVarint64(&out, dict.size());
+  for (LabelId l = 0; l < dict.size(); ++l) {
+    PutLengthPrefixed(&out, dict.Name(l));
+  }
+
+  std::vector<NodeHandle> nodes = doc.AllNodes();
+  std::unordered_map<NodeHandle, uint64_t> index;
+  index.reserve(nodes.size());
+  PutVarint64(&out, nodes.size());
+  for (uint64_t i = 0; i < nodes.size(); ++i) {
+    const Node& n = doc.node(nodes[i]);
+    index[nodes[i]] = i;
+    // 0 = root; otherwise 1 + the document-order index of the parent, which
+    // always precedes its children in AllNodes().
+    PutVarint64(&out, n.parent == kNullNode ? 0 : index.at(n.parent) + 1);
+    out.push_back(static_cast<char>(n.kind));
+    PutVarint64(&out, n.label);
+    PutLengthPrefixed(&out, n.text);
+    PutLengthPrefixed(&out, n.id.Encode());
+  }
+
+  AppendChecksum64(&out);
+  return out;
+}
+
+Status LoadDocumentFromBytes(const std::string& bytes, Document* doc) {
+  if (doc->arena_size() != 0 || doc->root() != kNullNode) {
+    return Status::FailedPrecondition(
+        "document restore requires an empty document");
+  }
+  size_t pos = 0;
+  if (bytes.substr(0, 4) != kDocMagic) {
+    return Status::InvalidArgument("bad magic: not a saved xvm document");
+  }
+  pos = 4;
+  if (bytes.size() < pos + kChecksumBytes || !VerifyChecksum64(bytes)) {
+    return Status::InvalidArgument(
+        "document snapshot checksum mismatch: truncated or corrupted");
+  }
+  const size_t payload_end = bytes.size() - kChecksumBytes;
+  uint64_t version = 0;
+  if (!GetVarint64(bytes, &pos, &version)) {
+    return Status::InvalidArgument("truncated document header");
+  }
+  if (version != kDocFormatVersion) {
+    return Status::InvalidArgument("unsupported document format version " +
+                                   std::to_string(version));
+  }
+
+  uint64_t dict_size = 0;
+  if (!GetVarint64(bytes, &pos, &dict_size)) {
+    return Status::InvalidArgument("truncated label dictionary");
+  }
+  if (dict_size > bytes.size() - pos) {
+    return Status::InvalidArgument("implausible label dictionary size");
+  }
+  for (uint64_t l = 0; l < dict_size; ++l) {
+    std::string name;
+    if (!GetLengthPrefixed(bytes, &pos, &name)) {
+      return Status::InvalidArgument("truncated label dictionary");
+    }
+    // A fresh dictionary starts with the same reserved entries the saved one
+    // did, so interning in saved-id order reproduces each id exactly —
+    // unless the target dictionary was already used, which we reject.
+    if (doc->dict().Intern(name) != l) {
+      return Status::FailedPrecondition(
+          "label dictionary diverged while restoring '" + name +
+          "': the target document must be freshly constructed");
+    }
+  }
+
+  uint64_t node_count = 0;
+  if (!GetVarint64(bytes, &pos, &node_count)) {
+    return Status::InvalidArgument("truncated node count");
+  }
+  if (node_count > bytes.size() - pos) {  // each node is ≥ 5 bytes
+    return Status::InvalidArgument("implausible node count");
+  }
+  std::vector<NodeHandle> handles;
+  handles.reserve(node_count);
+  DeweyId prev_id;
+  for (uint64_t i = 0; i < node_count; ++i) {
+    uint64_t parent_ref = 0;
+    if (!GetVarint64(bytes, &pos, &parent_ref)) {
+      return Status::InvalidArgument("truncated node record");
+    }
+    if (pos >= payload_end) {
+      return Status::InvalidArgument("truncated node record");
+    }
+    const uint8_t kind_byte = static_cast<uint8_t>(bytes[pos++]);
+    if (kind_byte > static_cast<uint8_t>(NodeKind::kText)) {
+      return Status::InvalidArgument("unknown node kind " +
+                                     std::to_string(kind_byte));
+    }
+    uint64_t label = 0;
+    std::string text, id_bytes;
+    if (!GetVarint64(bytes, &pos, &label) ||
+        !GetLengthPrefixed(bytes, &pos, &text) ||
+        !GetLengthPrefixed(bytes, &pos, &id_bytes)) {
+      return Status::InvalidArgument("truncated node record");
+    }
+    if (label >= dict_size) {
+      return Status::InvalidArgument("node label out of dictionary range");
+    }
+    DeweyId id;
+    if (!DeweyId::Decode(id_bytes, &id) || id.empty()) {
+      return Status::InvalidArgument("undecodable node ID");
+    }
+    if (id.label() != label) {
+      return Status::InvalidArgument("node ID label disagrees with record");
+    }
+    if (i > 0 && !(prev_id < id)) {
+      return Status::InvalidArgument("node IDs out of document order");
+    }
+    NodeHandle parent = kNullNode;
+    if (parent_ref == 0) {
+      if (i != 0) {
+        return Status::InvalidArgument("second root in document snapshot");
+      }
+      if (id.depth() != 1) {
+        return Status::InvalidArgument("root node ID has depth != 1");
+      }
+    } else {
+      if (parent_ref > i) {
+        return Status::InvalidArgument("node parent reference out of range");
+      }
+      parent = handles[parent_ref - 1];
+      if (!doc->node(parent).id.IsParentOf(id)) {
+        return Status::InvalidArgument("node ID disagrees with its parent");
+      }
+    }
+    handles.push_back(doc->RestoreNode(parent,
+                                       static_cast<NodeKind>(kind_byte),
+                                       static_cast<LabelId>(label), text, id));
+    prev_id = std::move(id);
+  }
+  if (pos != payload_end) {
+    return Status::InvalidArgument("trailing bytes after document snapshot");
+  }
   return Status::Ok();
 }
 
+Status SaveViewToFile(const MaintainedView& view, const std::string& path) {
+  return AtomicWriteFile(path, SaveViewToBytes(view));
+}
+
 Status LoadViewFromFile(const std::string& path, MaintainedView* view) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return LoadViewFromBytes(buf.str(), view);
+  std::string bytes;
+  XVM_RETURN_IF_ERROR(ReadFileToString(path, &bytes));
+  return LoadViewFromBytes(bytes, view);
 }
 
 }  // namespace xvm

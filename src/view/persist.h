@@ -14,10 +14,20 @@ namespace xvm {
 /// serialize to a compact varint format, so a maintained view survives a
 /// process restart without re-evaluation.
 ///
-/// The document/store are persisted separately (or re-parsed); a loaded
-/// view is only meaningful against the same document state it was saved
-/// under — the header records the view name, pattern DSL and tuple schema
-/// and LoadView verifies them against the target view.
+/// A loaded view is only meaningful against the same document state it was
+/// saved under — the header records the view name, pattern DSL and tuple
+/// schema and LoadView verifies them against the target view. The document
+/// snapshot below provides exactly that state: it round-trips the label
+/// dictionary and every node's Dewey ID bit-for-bit, so stored view tuples
+/// (whose Values embed IDs with LabelIds inside) keep resolving after a
+/// restart. ViewManager::Checkpoint/Recover composes both with the WAL
+/// (view/wal.h).
+///
+/// Load functions never partially commit: all parsing and validation happen
+/// into local state, and the target is only touched once the whole file is
+/// accepted. Every length and count read from a file is bounded by the
+/// bytes actually remaining before any allocation — the trailing checksum
+/// gates accidents (truncation, bit rot), not crafted files.
 
 /// Serializes view content + snowcap data.
 std::string SaveViewToBytes(const MaintainedView& view);
@@ -27,7 +37,18 @@ std::string SaveViewToBytes(const MaintainedView& view);
 /// Replaces Initialize().
 Status LoadViewFromBytes(const std::string& bytes, MaintainedView* view);
 
-/// File convenience wrappers.
+/// Serializes the document: label dictionary (in LabelId order), then every
+/// alive node in document order with its kind, label, text and encoded
+/// Dewey ID.
+std::string SaveDocumentToBytes(const Document& doc);
+
+/// Restores a SaveDocumentToBytes snapshot into `doc`, which must be empty
+/// (freshly constructed, private dictionary). Rebuilds identical LabelIds,
+/// node IDs and document order; the store must be Build() afterwards.
+Status LoadDocumentFromBytes(const std::string& bytes, Document* doc);
+
+/// File wrappers. Saving is atomic (common/file_io.h AtomicWriteFile): a
+/// crash mid-save can never destroy the previous checkpoint.
 Status SaveViewToFile(const MaintainedView& view, const std::string& path);
 Status LoadViewFromFile(const std::string& path, MaintainedView* view);
 

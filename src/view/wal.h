@@ -1,0 +1,96 @@
+#ifndef XVM_VIEW_WAL_H_
+#define XVM_VIEW_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "update/update.h"
+
+namespace xvm {
+
+/// Statement-level write-ahead log for durable view maintenance (the crash
+/// safety the paper's deferred mode §5 presupposes: queued updates must
+/// survive until flush). Each UpdateStmt is serialized and fsynced *before*
+/// the document is touched; a checkpoint (ViewManager::Checkpoint) truncates
+/// the log once the statements' effects are durable elsewhere.
+///
+/// File layout: a 5-byte header ("XVWL" magic + format-version varint)
+/// followed by records. Each record is framed as
+///
+///   varint body_length | body | 8-byte FNV-1a-64 of body
+///
+/// where body = varint LSN + EncodeUpdateStmt bytes. The checksum makes a
+/// torn tail (the only corruption a crashed *writer* can produce — records
+/// are appended, never rewritten) detectable: replay stops at the first
+/// frame that is truncated or fails its checksum, and OpenLog() truncates such
+/// a tail so later appends stay parseable.
+///
+/// LSNs are assigned by the caller (monotonically increasing); recovery
+/// replays only records whose LSN exceeds the checkpoint's, which makes
+/// replay idempotent when a crash lands between a checkpoint commit and the
+/// log truncation.
+
+/// Serializes a statement: kind, target XPath, source XPath, name, and the
+/// constant forest re-serialized as XML text.
+std::string EncodeUpdateStmt(const UpdateStmt& stmt);
+
+/// Decodes an EncodeUpdateStmt payload at `data[*pos]`, advancing `*pos`.
+/// The forest XML is re-parsed (ParseForest); InvalidArgument on any
+/// malformed field.
+Status DecodeUpdateStmt(const std::string& data, size_t* pos,
+                        UpdateStmt* stmt);
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  UpdateStmt stmt;
+};
+
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Opens (creating if needed) the log at `path`, validates the header,
+  /// scans the records and truncates any torn tail left by a crash mid-
+  /// append. After OpenLog(), last_lsn() is the highest durable LSN.
+  Status OpenLog(const std::string& path);
+
+  /// Appends and fsyncs one record. `lsn` must exceed last_lsn(). On
+  /// failure any partial frame is truncated away again (best effort), so
+  /// the log never accumulates unreadable middles.
+  Status Append(uint64_t lsn, const UpdateStmt& stmt);
+
+  /// Truncates the log back to its header (all records dropped) and fsyncs.
+  /// Called after a successful checkpoint.
+  Status Truncate();
+
+  /// Re-reads the log from disk and returns every valid record in order,
+  /// stopping silently at a torn tail.
+  StatusOr<std::vector<WalRecord>> ReadAll() const;
+
+  /// Reads a log without opening it for writing. A missing file yields an
+  /// empty vector (no WAL simply means nothing to replay).
+  static StatusOr<std::vector<WalRecord>> ReadLog(const std::string& path);
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  uint64_t last_lsn() const { return last_lsn_; }
+
+  /// Bytes of the valid prefix (header + intact records).
+  uint64_t durable_size() const { return size_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint64_t last_lsn_ = 0;
+  uint64_t size_ = 0;
+};
+
+}  // namespace xvm
+
+#endif  // XVM_VIEW_WAL_H_

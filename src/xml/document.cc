@@ -209,6 +209,23 @@ std::vector<NodeHandle> Document::DeleteSubtree(NodeHandle n) {
   return removed;
 }
 
+NodeHandle Document::RestoreNode(NodeHandle parent, NodeKind kind,
+                                 LabelId label, std::string_view text,
+                                 DeweyId id) {
+  XVM_CHECK(label < dict_->size());
+  NodeHandle h = NewNode(kind, label, text);
+  nodes_[h].id = std::move(id);
+  if (parent == kNullNode) {
+    XVM_CHECK(root_ == kNullNode);
+    root_ = h;
+  } else {
+    XVM_CHECK(IsAlive(parent));
+    LinkAsLastChild(parent, h);
+  }
+  RegisterId(h);
+  return h;
+}
+
 NodeHandle Document::FindById(const DeweyId& id) const {
   auto it = id_index_.find(id.Encode());
   if (it == id_index_.end()) return kNullNode;

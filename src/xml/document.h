@@ -121,6 +121,16 @@ class Document {
   /// Total serialized size estimate in bytes (for size-targeted generation).
   size_t ApproxSerializedBytes() const { return approx_bytes_; }
 
+  /// Restores one node with an explicit, already-assigned structural ID —
+  /// the durability recovery path (view/persist.h LoadDocumentFromBytes),
+  /// which must reproduce the exact Dewey IDs of the checkpointed document
+  /// so that stored view tuples keep resolving. `parent` is kNullNode for
+  /// the root; nodes must be restored in document order. `label` must
+  /// already be interned. The caller validates ID/parent/order consistency;
+  /// this method only links and registers.
+  NodeHandle RestoreNode(NodeHandle parent, NodeKind kind, LabelId label,
+                         std::string_view text, DeweyId id);
+
   /// Direct mutable access to a node, so tests can inject deliberate
   /// corruption (e.g. a dangling Dewey parent) and assert the invariant
   /// auditor (store/audit.h) reports it. Never used by production code.

@@ -1,13 +1,17 @@
 #include "view/persist.h"
 
 #include <cstdio>
+#include <limits>
 
 #include <gtest/gtest.h>
 
+#include "common/file_io.h"
+#include "common/varint.h"
 #include "pattern/compile.h"
 #include "xmark/generator.h"
 #include "xmark/updates.h"
 #include "xmark/views.h"
+#include "xml/serializer.h"
 
 namespace xvm {
 namespace {
@@ -191,6 +195,288 @@ TEST(PersistTest, MissingFileReportsNotFound) {
   Status st = LoadViewFromFile("/nonexistent/path/view.bin", dst.view.get());
   EXPECT_FALSE(st.ok());
   EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+// -- Adversarial files with *valid* checksums --
+//
+// The trailing checksum only catches accidents; a crafted file can carry a
+// correct checksum over malicious content. Every length/count field must
+// therefore be bounded against the bytes actually present before any
+// allocation or cast happens. These tests construct such files field by
+// field and require a clean InvalidArgument — not an OOM, not a crash, not
+// a silent acceptance.
+
+std::string Sealed(std::string body) {
+  AppendChecksum64(&body);
+  return body;
+}
+
+/// A well-formed "XVM2" header for the given target view, up to (not
+/// including) the tuple count.
+std::string ViewHeader(const MaintainedView& view) {
+  std::string out;
+  out.append("XVM2");
+  PutVarint64(&out, 2);  // format version
+  PutLengthPrefixed(&out, view.def().name());
+  PutLengthPrefixed(&out, view.def().pattern().ToString());
+  return out;
+}
+
+/// A null-valued tuple of the view's schema width.
+std::string NullTuple(const MaintainedView& view) {
+  std::string out;
+  const size_t w = view.def().tuple_schema().size();
+  PutVarint64(&out, w);
+  for (size_t i = 0; i < w; ++i) out.push_back(0);  // ValueKind::kNull
+  return out;
+}
+
+TEST(PersistAdversarialTest, HugeHeaderStringLengthRejected) {
+  Fixture dst = Make("Q1", LatticeStrategy::kSnowcaps);
+  // Name length 2^64-1: `pos + len` would wrap past the size check and the
+  // old code would call substr with a bogus length.
+  std::string body;
+  body.append("XVM2");
+  PutVarint64(&body, 2);
+  PutVarint64(&body, std::numeric_limits<uint64_t>::max());
+  Status st = LoadViewFromBytes(Sealed(body), dst.view.get());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PersistAdversarialTest, TupleCountBombRejected) {
+  Fixture dst = Make("Q1", LatticeStrategy::kSnowcaps);
+  std::string body = ViewHeader(*dst.view);
+  // Claims ~2^61 tuples in a file of a few dozen bytes: reserving that
+  // vector would allocate tens of exabytes before the first parse failure.
+  PutVarint64(&body, uint64_t{1} << 61);
+  Status st = LoadViewFromBytes(Sealed(body), dst.view.get());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PersistAdversarialTest, TupleWidthBombRejected) {
+  Fixture dst = Make("Q1", LatticeStrategy::kSnowcaps);
+  std::string body = ViewHeader(*dst.view);
+  PutVarint64(&body, 1);  // one tuple
+  PutVarint64(&body, 1);  // derivation count
+  PutVarint64(&body, uint64_t{1} << 62);  // claimed value count
+  Status st = LoadViewFromBytes(Sealed(body), dst.view.get());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PersistAdversarialTest, HugeValueStringLengthRejected) {
+  Fixture dst = Make("Q1", LatticeStrategy::kSnowcaps);
+  std::string body = ViewHeader(*dst.view);
+  PutVarint64(&body, 1);  // one tuple
+  PutVarint64(&body, 1);  // derivation count
+  PutVarint64(&body, dst.view->def().tuple_schema().size());
+  body.push_back(2);  // ValueKind::kString
+  PutVarint64(&body, std::numeric_limits<uint64_t>::max() - 7);
+  Status st = LoadViewFromBytes(Sealed(body), dst.view.get());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PersistAdversarialTest, ZeroDerivationCountRejected) {
+  Fixture dst = Make("Q1", LatticeStrategy::kSnowcaps);
+  std::string body = ViewHeader(*dst.view);
+  PutVarint64(&body, 1);  // one tuple
+  PutVarint64(&body, 0);  // count 0: a phantom tuple
+  body += NullTuple(*dst.view);
+  Status st = LoadViewFromBytes(Sealed(body), dst.view.get());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PersistAdversarialTest, HugeDerivationCountRejected) {
+  Fixture dst = Make("Q1", LatticeStrategy::kSnowcaps);
+  for (uint64_t count :
+       {uint64_t{1} << 63,
+        static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) + 1,
+        std::numeric_limits<uint64_t>::max()}) {
+    std::string body = ViewHeader(*dst.view);
+    PutVarint64(&body, 1);
+    PutVarint64(&body, count);  // would go negative in the int64_t cast
+    body += NullTuple(*dst.view);
+    Status st = LoadViewFromBytes(Sealed(body), dst.view.get());
+    ASSERT_FALSE(st.ok()) << count;
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << count;
+  }
+}
+
+TEST(PersistAdversarialTest, SnowcapNodeSetBombRejected) {
+  Fixture dst = Make("Q1", LatticeStrategy::kSnowcaps);
+  dst.view->Initialize();
+  std::string body = ViewHeader(*dst.view);
+  PutVarint64(&body, 0);  // no tuples
+  PutVarint64(&body, dst.view->lattice().snowcaps().size());
+  PutVarint64(&body, uint64_t{1} << 60);  // node-set bits
+  Status st = LoadViewFromBytes(Sealed(body), dst.view.get());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PersistAdversarialTest, SnowcapRowCountBombRejected) {
+  Fixture dst = Make("Q1", LatticeStrategy::kSnowcaps);
+  dst.view->Initialize();
+  const auto& snowcaps = dst.view->lattice().snowcaps();
+  ASSERT_FALSE(snowcaps.empty());
+  std::string body = ViewHeader(*dst.view);
+  PutVarint64(&body, 0);  // no tuples
+  PutVarint64(&body, snowcaps.size());
+  // First snowcap: the *correct* node set (so parsing proceeds), then an
+  // impossible row count.
+  PutVarint64(&body, snowcaps[0].nodes.size());
+  for (bool b : snowcaps[0].nodes) body.push_back(b ? 1 : 0);
+  PutVarint64(&body, uint64_t{1} << 59);
+  Status st = LoadViewFromBytes(Sealed(body), dst.view.get());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PersistAdversarialTest, RejectedLoadNeverPartiallyCommits) {
+  Fixture src = Make("Q1", LatticeStrategy::kSnowcaps);
+  src.view->Initialize();
+  Fixture dst = Make("Q1", LatticeStrategy::kSnowcaps);
+  ASSERT_TRUE(LoadViewFromBytes(SaveViewToBytes(*src.view), dst.view.get())
+                  .ok());
+
+  // A bomb rejected mid-parse must leave the previously loaded content
+  // untouched.
+  std::string body = ViewHeader(*dst.view);
+  PutVarint64(&body, uint64_t{1} << 61);
+  ASSERT_FALSE(LoadViewFromBytes(Sealed(body), dst.view.get()).ok());
+  ExpectSameContent(*src.view, *dst.view);
+}
+
+// -- Document snapshots --
+
+TEST(DocSnapshotTest, RoundTripPreservesIdsLabelsAndContent) {
+  Document src;
+  GenerateXMark(XMarkConfig{30 * 1024, 23}, &src);
+  const std::string bytes = SaveDocumentToBytes(src);
+
+  Document dst;
+  ASSERT_TRUE(LoadDocumentFromBytes(bytes, &dst).ok());
+  EXPECT_EQ(dst.dict().size(), src.dict().size());
+  for (LabelId l = 0; l < src.dict().size(); ++l) {
+    EXPECT_EQ(dst.dict().Name(l), src.dict().Name(l));
+  }
+  std::vector<NodeHandle> sn = src.AllNodes();
+  std::vector<NodeHandle> dn = dst.AllNodes();
+  ASSERT_EQ(sn.size(), dn.size());
+  for (size_t i = 0; i < sn.size(); ++i) {
+    const Node& a = src.node(sn[i]);
+    const Node& b = dst.node(dn[i]);
+    EXPECT_EQ(a.id, b.id) << i;  // bit-identical Dewey IDs
+    EXPECT_EQ(a.kind, b.kind) << i;
+    EXPECT_EQ(a.label, b.label) << i;
+    EXPECT_EQ(a.text, b.text) << i;
+    EXPECT_EQ(dst.FindById(a.id), dn[i]) << i;  // ID index rebuilt
+  }
+  EXPECT_EQ(SerializeSubtree(dst, dst.root()), SerializeSubtree(src, src.root()));
+}
+
+TEST(DocSnapshotTest, RequiresEmptyTargetDocument) {
+  Document src;
+  GenerateXMark(XMarkConfig{10 * 1024, 3}, &src);
+  const std::string bytes = SaveDocumentToBytes(src);
+  Document occupied;
+  occupied.CreateRoot("already_here");
+  Status st = LoadDocumentFromBytes(bytes, &occupied);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DocSnapshotTest, FuzzBitFlipsRejected) {
+  Document src;
+  GenerateXMark(XMarkConfig{10 * 1024, 9}, &src);
+  const std::string bytes = SaveDocumentToBytes(src);
+  uint64_t rng = 0x9E3779B97F4A7C15ull;
+  for (int trial = 0; trial < 200; ++trial) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    const size_t byte = rng % bytes.size();
+    const int bit = static_cast<int>((rng >> 32) % 8);
+    std::string corrupt = bytes;
+    corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+    Document dst;
+    Status st = LoadDocumentFromBytes(corrupt, &dst);
+    ASSERT_FALSE(st.ok()) << "byte=" << byte << " bit=" << bit;
+  }
+}
+
+TEST(DocSnapshotTest, NodeCountBombRejected) {
+  Document src;
+  src.CreateRoot("r");
+  // A from-scratch frame with a poisoned node count but a valid checksum.
+  std::string bomb;
+  bomb.append("XVMD");
+  PutVarint64(&bomb, 1);
+  PutVarint64(&bomb, src.dict().size());
+  for (LabelId l = 0; l < src.dict().size(); ++l) {
+    PutLengthPrefixed(&bomb, src.dict().Name(l));
+  }
+  PutVarint64(&bomb, uint64_t{1} << 60);
+  AppendChecksum64(&bomb);
+  Document dst;
+  Status st = LoadDocumentFromBytes(bomb, &dst);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+// -- Save failure paths --
+
+TEST(PersistSaveFailureTest, UnwritableDirectoryFailsCleanly) {
+  Fixture src = Make("Q1", LatticeStrategy::kSnowcaps);
+  src.view->Initialize();
+  Status st =
+      SaveViewToFile(*src.view, "/nonexistent_xvm_dir/sub/view.ckpt");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+TEST(PersistSaveFailureTest, InjectedShortWriteLeavesPreviousCheckpoint) {
+  Fixture src = Make("Q1", LatticeStrategy::kSnowcaps);
+  src.view->Initialize();
+  const std::string path = ::testing::TempDir() + "/xvm_shortwrite.ckpt";
+  std::remove(path.c_str());
+  ASSERT_TRUE(SaveViewToFile(*src.view, path).ok());
+  std::string before;
+  ASSERT_TRUE(ReadFileToString(path, &before).ok());
+
+  // Grow the view so the second save differs, then fail it halfway through
+  // the temp-file write (a torn write, as a full disk would produce).
+  auto u = FindXMarkUpdate("X1_L");
+  ASSERT_TRUE(u.ok());
+  ASSERT_TRUE(
+      src.view->ApplyAndPropagate(src.doc.get(), MakeInsertStmt(*u)).ok());
+  for (const char* point :
+       {"atomic_write:after_open", "atomic_write:partial",
+        "atomic_write:before_fsync", "atomic_write:before_rename"}) {
+    fault::Arm(point, 1, fault::Mode::kError);
+    Status st = SaveViewToFile(*src.view, path);
+    fault::Disarm();
+    ASSERT_FALSE(st.ok()) << point;
+    EXPECT_EQ(st.code(), StatusCode::kInternal) << point;
+    // The prior checkpoint is byte-identical and no temp file leaks.
+    std::string after;
+    ASSERT_TRUE(ReadFileToString(path, &after).ok()) << point;
+    EXPECT_EQ(after, before) << point;
+    EXPECT_FALSE(FileExists(path + ".tmp")) << point;
+  }
+
+  // With no fault armed the save replaces the file atomically.
+  ASSERT_TRUE(SaveViewToFile(*src.view, path).ok());
+  std::string after;
+  ASSERT_TRUE(ReadFileToString(path, &after).ok());
+  EXPECT_NE(after, before);
+  Fixture dst = Make("Q1", LatticeStrategy::kSnowcaps);
+  ASSERT_TRUE(LoadViewFromFile(path, dst.view.get()).ok());
+  ExpectSameContent(*src.view, *dst.view);
+  std::remove(path.c_str());
 }
 
 TEST(ValueDecodeTest, RoundTripsAllKinds) {
