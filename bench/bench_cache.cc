@@ -67,9 +67,10 @@ void BM_MultiViewMaintenance(benchmark::State& state) {
     size_t i = 0;
     for (const std::string& name : XMarkViewNames()) {
       auto def = XMarkView(name);
-      mgr.AddView(std::move(def).value(),
-                  (i++ % 2 == 0) ? LatticeStrategy::kSnowcaps
-                                 : LatticeStrategy::kLeaves);
+      XVM_CHECK(mgr.AddView(std::move(def).value(),
+                            (i++ % 2 == 0) ? LatticeStrategy::kSnowcaps
+                                           : LatticeStrategy::kLeaves)
+                    .ok());
     }
     state.ResumeTiming();
     for (const char* uname : {"X1_L", "A7_O", "B7_LB"}) {

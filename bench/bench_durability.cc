@@ -80,7 +80,9 @@ void BenchCheckpointAndRecover() {
       for (const char* name : {"Q1", "Q2", "Q17"}) {
         auto def = XMarkView(name);
         XVM_CHECK(def.ok());
-        r.mgr->AddView(std::move(def).value(), LatticeStrategy::kSnowcaps);
+        XVM_CHECK(
+            r.mgr->AddView(std::move(def).value(), LatticeStrategy::kSnowcaps)
+                .ok());
       }
       return r;
     };

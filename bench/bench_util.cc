@@ -84,7 +84,8 @@ MultiUpdateOutcome RunManagerAll(size_t bytes, const UpdateStmt& stmt,
   for (const std::string& name : XMarkViewNames()) {
     auto def = XMarkView(name);
     XVM_CHECK(def.ok());
-    mgr.AddView(std::move(def).value(), LatticeStrategy::kSnowcaps);
+    XVM_CHECK(
+        mgr.AddView(std::move(def).value(), LatticeStrategy::kSnowcaps).ok());
   }
   auto out = mgr.ApplyAndPropagateAll(stmt);
   XVM_CHECK(out.ok());

@@ -61,6 +61,13 @@ configure() {
 }
 
 step "lint (Status + lock discipline)"
+# The textual lints ARE the gate for several invariants (dropped Status,
+# raw mutexes); a silently skipped lint leg would let violations through,
+# so a missing interpreter is a hard failure, not a skip.
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "error: python3 is required (the lint legs are mandatory); install it" >&2
+  exit 1
+fi
 python3 tools/lint_status.py --root "$ROOT"
 python3 tools/lint_locks.py --root "$ROOT"
 python3 tools/lint_locks_test.py
@@ -110,6 +117,13 @@ run_config() {
 }
 
 run_config address build-asan
+
+step "planlint (static plan analysis over the example views)"
+# The install-time analyzer must accept every example view definition and
+# reproduce its golden diagnostics (also run as ctest planlint_* above;
+# repeated here standalone so a plan regression is named explicitly).
+build-asan/tools/planlint/planlint examples/views.lint
+ctest --test-dir build-asan -R 'planlint' --output-on-failure -j "$JOBS"
 
 step "crash matrix (address sanitizer, fault injection)"
 XVM_CHECK_INVARIANTS=1 \

@@ -1,0 +1,499 @@
+#include "algebra/analyze/analyze.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace xvm {
+
+bool PlanFacts::HasKeyWithin(const std::vector<int>& cols) const {
+  for (const auto& key : keys) {
+    bool inside = true;
+    for (int c : key) {
+      if (std::find(cols.begin(), cols.end(), c) == cols.end()) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) return true;
+  }
+  return false;
+}
+
+std::string PlanFacts::ToString() const {
+  auto col_name = [this](int c) {
+    return c >= 0 && static_cast<size_t>(c) < schema.size()
+               ? schema.col(static_cast<size_t>(c)).name
+               : "#" + std::to_string(c);
+  };
+  std::string out = "order: [";
+  for (size_t i = 0; i < sort_prefix.size(); ++i) {
+    if (i > 0) out += " ";
+    out += col_name(sort_prefix[i]);
+  }
+  out += "]; keys:";
+  if (keys.empty()) out += " none";
+  for (const auto& key : keys) {
+    out += " {";
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (i > 0) out += ",";
+      out += col_name(key[i]);
+    }
+    out += "}";
+  }
+  out += duplicate_free ? "; duplicate-free" : "; may have duplicates";
+  return out;
+}
+
+namespace {
+
+constexpr size_t kMaxKeys = 4;
+
+const char* KindName(ValueKind k) {
+  switch (k) {
+    case ValueKind::kNull: return "null";
+    case ValueKind::kId: return "id";
+    case ValueKind::kString: return "str";
+    case ValueKind::kInt: return "int";
+  }
+  return "?";
+}
+
+/// Keeps the key list small and canonical: sorted sets, no supersets of an
+/// existing key, smallest keys first.
+void AddKey(std::vector<int> key, PlanFacts* facts) {
+  std::sort(key.begin(), key.end());
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+  for (const auto& have : facts->keys) {
+    if (std::includes(key.begin(), key.end(), have.begin(), have.end())) {
+      return;  // an existing key already covers this one
+    }
+  }
+  // The new key supersedes any existing superset of it.
+  std::erase_if(facts->keys, [&](const std::vector<int>& have) {
+    return std::includes(have.begin(), have.end(), key.begin(), key.end());
+  });
+  facts->keys.push_back(std::move(key));
+  std::sort(facts->keys.begin(), facts->keys.end(),
+            [](const std::vector<int>& a, const std::vector<int>& b) {
+              return a.size() != b.size() ? a.size() < b.size() : a < b;
+            });
+  if (facts->keys.size() > kMaxKeys) facts->keys.resize(kMaxKeys);
+}
+
+class Analyzer {
+ public:
+  StatusOr<PlanFacts> AnalyzeRoot(const PlanNode& root) {
+    return Analyze(root, root.OpName());
+  }
+
+ private:
+  /// `path` is the operator path from the root down to `node`, e.g.
+  /// "dupelim/project/sort/sjoin[inner]/select".
+  StatusOr<PlanFacts> Analyze(const PlanNode& node, const std::string& path) {
+    switch (node.op) {
+      case PlanOp::kLeaf: return AnalyzeLeaf(node, path);
+      case PlanOp::kSelect: return AnalyzeSelect(node, path);
+      case PlanOp::kProject: return AnalyzeProject(node, path);
+      case PlanOp::kSortBy: return AnalyzeSortBy(node, path);
+      case PlanOp::kDupElim: return AnalyzeDupElim(node, path);
+      case PlanOp::kProduct: return AnalyzeProduct(node, path);
+      case PlanOp::kHashJoin: return AnalyzeHashJoin(node, path);
+      case PlanOp::kStructJoin: return AnalyzeStructJoin(node, path);
+      case PlanOp::kUnionAll: return AnalyzeUnionAll(node, path);
+    }
+    return Error(node, path, "unknown operator");
+  }
+
+  Status CheckArity(const PlanNode& node, const std::string& path,
+                    size_t arity) {
+    if (node.inputs.size() != arity) {
+      return Error(node, path,
+                   "operator arity mismatch: expected " +
+                       std::to_string(arity) + " input(s), plan has " +
+                       std::to_string(node.inputs.size()));
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<PlanFacts> Child(const PlanNode& node, const std::string& path,
+                            size_t idx, const std::string& tag) {
+    return Analyze(*node.inputs[idx],
+                   path + "/" + (tag.empty() ? node.inputs[idx]->OpName()
+                                             : tag));
+  }
+
+  Status Error(const PlanNode& node, const std::string& path,
+               const std::string& msg) {
+    return Status::InvalidArgument(
+        "plan analysis: " + msg + "\n  at operator path: " + path +
+        "\n  offending operator:\n" + PlanToString(node, 2));
+  }
+
+  Status CheckCol(const PlanNode& node, const std::string& path,
+                  const PlanFacts& in, int col, const char* what) {
+    if (col < 0 || static_cast<size_t>(col) >= in.schema.size()) {
+      return Error(node, path,
+                   std::string(what) + " column reference " +
+                       std::to_string(col) + " out of range (input has " +
+                       std::to_string(in.schema.size()) + " columns)");
+    }
+    return Status::Ok();
+  }
+
+  Status CheckIdCol(const PlanNode& node, const std::string& path,
+                    const PlanFacts& in, int col, const char* what) {
+    XVM_RETURN_IF_ERROR(CheckCol(node, path, in, col, what));
+    ValueKind k = in.schema.col(static_cast<size_t>(col)).kind;
+    if (k != ValueKind::kId) {
+      return Error(node, path,
+                   std::string(what) + " requires an ID column, but column " +
+                       std::to_string(col) + " ('" +
+                       in.schema.col(static_cast<size_t>(col)).name +
+                       "') has kind " + KindName(k));
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<PlanFacts> AnalyzeLeaf(const PlanNode& node,
+                                  const std::string& path) {
+    if (!node.inputs.empty()) {
+      return Error(node, path, "leaf operator must have no inputs");
+    }
+    PlanFacts facts;
+    facts.schema = node.leaf_schema;
+    if (node.leaf_determined_by.size() != facts.schema.size() &&
+        !node.leaf_determined_by.empty()) {
+      return Error(node, path,
+                   "leaf dependency contract has " +
+                       std::to_string(node.leaf_determined_by.size()) +
+                       " entries for " + std::to_string(facts.schema.size()) +
+                       " columns");
+    }
+    facts.determined_by = node.leaf_determined_by;
+    if (facts.determined_by.empty()) {
+      facts.determined_by.assign(facts.schema.size(), -1);
+    }
+    for (size_t c = 0; c < facts.determined_by.size(); ++c) {
+      int d = facts.determined_by[c];
+      if (d < 0) continue;
+      XVM_RETURN_IF_ERROR(
+          CheckIdCol(node, path, facts, d, "leaf dependency contract"));
+      (void)c;
+    }
+    for (int c : node.leaf_sort_prefix) {
+      XVM_RETURN_IF_ERROR(CheckCol(node, path, facts, c, "leaf sort contract"));
+    }
+    facts.sort_prefix = node.leaf_sort_prefix;
+    // If the generator columns (self-determined IDs) determine every column,
+    // the leaf's rows are unique on them: that is the contract of canonical
+    // relations (one row per node), Δ tables and materialized bindings.
+    std::vector<int> generators;
+    bool all_determined = !facts.schema.empty();
+    for (size_t c = 0; c < facts.schema.size(); ++c) {
+      int d = facts.determined_by[c];
+      if (d == static_cast<int>(c)) generators.push_back(static_cast<int>(c));
+      if (d < 0) all_determined = false;
+    }
+    if (all_determined && !generators.empty()) {
+      AddKey(generators, &facts);
+      facts.duplicate_free = true;
+    }
+    return facts;
+  }
+
+  StatusOr<PlanFacts> AnalyzeSelect(const PlanNode& node,
+                                    const std::string& path) {
+    XVM_RETURN_IF_ERROR(CheckArity(node, path, 1));
+    XVM_ASSIGN_OR_RETURN(PlanFacts in, Child(node, path, 0, ""));
+    for (const PlanPredicate& p : node.predicates) {
+      switch (p.kind) {
+        case PlanPredicate::Kind::kEqConst: {
+          XVM_RETURN_IF_ERROR(
+              CheckCol(node, path, in, p.a, "value predicate"));
+          ValueKind k = in.schema.col(static_cast<size_t>(p.a)).kind;
+          if (k != ValueKind::kString) {
+            return Error(node, path,
+                         "attribute-kind misuse: value comparison " +
+                             p.ToString() + " applied to column '" +
+                             in.schema.col(static_cast<size_t>(p.a)).name +
+                             "' of kind " + KindName(k) +
+                             " (constants compare against val/cont payloads "
+                             "only)");
+          }
+          break;
+        }
+        case PlanPredicate::Kind::kColsEqual: {
+          XVM_RETURN_IF_ERROR(CheckCol(node, path, in, p.a, "equality"));
+          XVM_RETURN_IF_ERROR(CheckCol(node, path, in, p.b, "equality"));
+          ValueKind ka = in.schema.col(static_cast<size_t>(p.a)).kind;
+          ValueKind kb = in.schema.col(static_cast<size_t>(p.b)).kind;
+          if (ka != kb) {
+            return Error(node, path,
+                         "attribute-kind misuse: equality " + p.ToString() +
+                             " compares kind " + KindName(ka) + " with kind " +
+                             KindName(kb));
+          }
+          break;
+        }
+        case PlanPredicate::Kind::kParent:
+        case PlanPredicate::Kind::kAncestor:
+          XVM_RETURN_IF_ERROR(
+              CheckIdCol(node, path, in, p.a, "structural predicate"));
+          XVM_RETURN_IF_ERROR(
+              CheckIdCol(node, path, in, p.b, "structural predicate"));
+          break;
+        case PlanPredicate::Kind::kRootAnchor:
+          XVM_RETURN_IF_ERROR(
+              CheckIdCol(node, path, in, p.a, "root anchor"));
+          break;
+        case PlanPredicate::Kind::kAlive:
+          for (int c : p.cols) {
+            XVM_RETURN_IF_ERROR(
+                CheckIdCol(node, path, in, c, "liveness filter"));
+          }
+          break;
+      }
+    }
+    return in;  // selection preserves order, keys and dependencies
+  }
+
+  StatusOr<PlanFacts> AnalyzeProject(const PlanNode& node,
+                                     const std::string& path) {
+    XVM_RETURN_IF_ERROR(CheckArity(node, path, 1));
+    XVM_ASSIGN_OR_RETURN(PlanFacts in, Child(node, path, 0, ""));
+    PlanFacts out;
+    // First output position of each retained input column.
+    std::vector<int> first_pos(in.schema.size(), -1);
+    for (int c : node.cols) {
+      XVM_RETURN_IF_ERROR(CheckCol(node, path, in, c, "projection"));
+      if (first_pos[static_cast<size_t>(c)] < 0) {
+        first_pos[static_cast<size_t>(c)] =
+            static_cast<int>(out.schema.size());
+      }
+      out.schema.Add(in.schema.col(static_cast<size_t>(c)));
+    }
+    // Dependencies: survive when the determinant is retained.
+    out.determined_by.assign(out.schema.size(), -1);
+    for (size_t j = 0; j < node.cols.size(); ++j) {
+      int c = node.cols[j];
+      int d = in.determined_by[static_cast<size_t>(c)];
+      if (d < 0) continue;
+      if (d == c) {
+        out.determined_by[j] = static_cast<int>(j);
+      } else if (first_pos[static_cast<size_t>(d)] >= 0) {
+        out.determined_by[j] = first_pos[static_cast<size_t>(d)];
+      }
+    }
+    // Order: the longest fully-retained prefix of the input order.
+    for (int c : in.sort_prefix) {
+      int p = first_pos[static_cast<size_t>(c)];
+      if (p < 0) break;
+      out.sort_prefix.push_back(p);
+    }
+    // Keys: survive when fully retained. Retaining a key keeps projected
+    // rows pairwise distinct, so duplicate-freeness survives with it.
+    for (const auto& key : in.keys) {
+      std::vector<int> mapped;
+      bool kept = true;
+      for (int c : key) {
+        int p = first_pos[static_cast<size_t>(c)];
+        if (p < 0) {
+          kept = false;
+          break;
+        }
+        mapped.push_back(p);
+      }
+      if (kept) AddKey(std::move(mapped), &out);
+    }
+    out.duplicate_free = !out.keys.empty();
+    return out;
+  }
+
+  StatusOr<PlanFacts> AnalyzeSortBy(const PlanNode& node,
+                                    const std::string& path) {
+    XVM_RETURN_IF_ERROR(CheckArity(node, path, 1));
+    XVM_ASSIGN_OR_RETURN(PlanFacts out, Child(node, path, 0, ""));
+    for (int c : node.cols) {
+      XVM_RETURN_IF_ERROR(CheckCol(node, path, out, c, "sort key"));
+    }
+    out.sort_prefix = node.cols;
+    return out;
+  }
+
+  StatusOr<PlanFacts> AnalyzeDupElim(const PlanNode& node,
+                                     const std::string& path) {
+    XVM_RETURN_IF_ERROR(CheckArity(node, path, 1));
+    XVM_ASSIGN_OR_RETURN(PlanFacts out, Child(node, path, 0, ""));
+    // Output is sorted by the full tuple and unique on it.
+    out.sort_prefix.clear();
+    std::vector<int> all;
+    for (size_t c = 0; c < out.schema.size(); ++c) {
+      out.sort_prefix.push_back(static_cast<int>(c));
+      all.push_back(static_cast<int>(c));
+    }
+    AddKey(std::move(all), &out);
+    // Dependency reduction: if the self-determined ID columns determine
+    // every column, distinct tuples differ on them — they key the output.
+    // This is how the stored ID columns are proven to key the view.
+    std::vector<int> generators;
+    bool all_determined = !out.schema.empty();
+    for (size_t c = 0; c < out.schema.size(); ++c) {
+      int d = out.determined_by[c];
+      if (d == static_cast<int>(c)) generators.push_back(static_cast<int>(c));
+      if (d < 0) all_determined = false;
+    }
+    if (all_determined && !generators.empty()) AddKey(generators, &out);
+    out.duplicate_free = true;
+    return out;
+  }
+
+  /// Concatenation bookkeeping shared by product and the joins.
+  static void ConcatFacts(const PlanFacts& l, const PlanFacts& r,
+                          PlanFacts* out) {
+    out->schema = Schema::Concat(l.schema, r.schema);
+    const int lw = static_cast<int>(l.schema.size());
+    out->determined_by = l.determined_by;
+    for (int d : r.determined_by) {
+      out->determined_by.push_back(d < 0 ? -1 : d + lw);
+    }
+    for (const auto& kl : l.keys) {
+      for (const auto& kr : r.keys) {
+        std::vector<int> key = kl;
+        for (int c : kr) key.push_back(c + lw);
+        AddKey(std::move(key), out);
+      }
+    }
+    out->duplicate_free = l.duplicate_free && r.duplicate_free;
+  }
+
+  StatusOr<PlanFacts> AnalyzeProduct(const PlanNode& node,
+                                     const std::string& path) {
+    XVM_RETURN_IF_ERROR(CheckArity(node, path, 2));
+    XVM_ASSIGN_OR_RETURN(PlanFacts l, Child(node, path, 0, "product[left]"));
+    XVM_ASSIGN_OR_RETURN(PlanFacts r, Child(node, path, 1, "product[right]"));
+    PlanFacts out;
+    ConcatFacts(l, r, &out);
+    out.sort_prefix = l.sort_prefix;  // left-major enumeration
+    return out;
+  }
+
+  StatusOr<PlanFacts> AnalyzeHashJoin(const PlanNode& node,
+                                      const std::string& path) {
+    XVM_RETURN_IF_ERROR(CheckArity(node, path, 2));
+    XVM_ASSIGN_OR_RETURN(PlanFacts l, Child(node, path, 0, "hjoin[left]"));
+    XVM_ASSIGN_OR_RETURN(PlanFacts r, Child(node, path, 1, "hjoin[right]"));
+    if (node.left_cols.size() != node.right_cols.size()) {
+      return Error(node, path,
+                   "hash-join arity mismatch: " +
+                       std::to_string(node.left_cols.size()) +
+                       " left key column(s) vs " +
+                       std::to_string(node.right_cols.size()) + " right");
+    }
+    for (size_t i = 0; i < node.left_cols.size(); ++i) {
+      XVM_RETURN_IF_ERROR(
+          CheckCol(node, path, l, node.left_cols[i], "hash-join key"));
+      XVM_RETURN_IF_ERROR(
+          CheckCol(node, path, r, node.right_cols[i], "hash-join key"));
+      ValueKind kl =
+          l.schema.col(static_cast<size_t>(node.left_cols[i])).kind;
+      ValueKind kr =
+          r.schema.col(static_cast<size_t>(node.right_cols[i])).kind;
+      if (kl != kr) {
+        return Error(node, path,
+                     "attribute-kind misuse: hash-join equates kind " +
+                         std::string(KindName(kl)) + " with kind " +
+                         KindName(kr) + " at key pair " + std::to_string(i));
+      }
+    }
+    PlanFacts out;
+    ConcatFacts(l, r, &out);
+    // Probe rows are scanned in order with contiguous match groups, so the
+    // right input's order survives (shifted past the build columns).
+    const int lw = static_cast<int>(l.schema.size());
+    for (int c : r.sort_prefix) out.sort_prefix.push_back(c + lw);
+    return out;
+  }
+
+  StatusOr<PlanFacts> AnalyzeStructJoin(const PlanNode& node,
+                                        const std::string& path) {
+    XVM_RETURN_IF_ERROR(CheckArity(node, path, 2));
+    XVM_ASSIGN_OR_RETURN(PlanFacts outer, Child(node, path, 0,
+                                                "sjoin[outer]"));
+    XVM_ASSIGN_OR_RETURN(PlanFacts inner, Child(node, path, 1,
+                                                "sjoin[inner]"));
+    XVM_RETURN_IF_ERROR(
+        CheckIdCol(node, path, outer, node.outer_col, "structural join"));
+    XVM_RETURN_IF_ERROR(
+        CheckIdCol(node, path, inner, node.inner_col, "structural join"));
+    // The stack-based merge silently mis-evaluates on unsorted input: prove
+    // document order on both sides or reject the plan.
+    if (!outer.SortedBy(node.outer_col)) {
+      return Error(node, path,
+                   "sort-order precondition violated: structural join "
+                   "requires its outer input sorted by column " +
+                       std::to_string(node.outer_col) + " ('" +
+                       outer.schema.col(static_cast<size_t>(node.outer_col))
+                           .name +
+                       "'), but the provable outer facts are: " +
+                       outer.ToString());
+    }
+    if (!inner.SortedBy(node.inner_col)) {
+      return Error(node, path,
+                   "sort-order precondition violated: structural join "
+                   "requires its inner input sorted by column " +
+                       std::to_string(node.inner_col) + " ('" +
+                       inner.schema.col(static_cast<size_t>(node.inner_col))
+                           .name +
+                       "'), but the provable inner facts are: " +
+                       inner.ToString());
+    }
+    PlanFacts out;
+    ConcatFacts(outer, inner, &out);
+    // Output rows are emitted per inner row, in inner order.
+    out.sort_prefix = {node.inner_col +
+                       static_cast<int>(outer.schema.size())};
+    return out;
+  }
+
+  StatusOr<PlanFacts> AnalyzeUnionAll(const PlanNode& node,
+                                      const std::string& path) {
+    XVM_RETURN_IF_ERROR(CheckArity(node, path, 2));
+    XVM_ASSIGN_OR_RETURN(PlanFacts a, Child(node, path, 0, "union[0]"));
+    XVM_ASSIGN_OR_RETURN(PlanFacts b, Child(node, path, 1, "union[1]"));
+    if (a.schema.size() != b.schema.size()) {
+      return Error(node, path,
+                   "union arity mismatch: " + std::to_string(a.schema.size()) +
+                       " vs " + std::to_string(b.schema.size()) +
+                       " columns");
+    }
+    for (size_t c = 0; c < a.schema.size(); ++c) {
+      const Column& ca = a.schema.col(c);
+      const Column& cb = b.schema.col(c);
+      if (ca.kind != cb.kind) {
+        return Error(node, path,
+                     "union of incompatible columns at position " +
+                         std::to_string(c) + ": '" + ca.name + "' (" +
+                         KindName(ca.kind) + ") vs '" + cb.name + "' (" +
+                         KindName(cb.kind) + ")");
+      }
+      if (ca.name != cb.name) {
+        return Error(node, path,
+                     "union of differently-named columns at position " +
+                         std::to_string(c) + ": '" + ca.name + "' vs '" +
+                         cb.name + "'");
+      }
+    }
+    PlanFacts out;
+    out.schema = a.schema;
+    out.determined_by.assign(out.schema.size(), -1);
+    return out;  // concatenation: no order, key or uniqueness facts survive
+  }
+};
+
+}  // namespace
+
+StatusOr<PlanFacts> AnalyzePlan(const PlanNode& root) {
+  return Analyzer().AnalyzeRoot(root);
+}
+
+}  // namespace xvm

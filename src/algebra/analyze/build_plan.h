@@ -1,0 +1,63 @@
+#ifndef XVM_ALGEBRA_ANALYZE_BUILD_PLAN_H_
+#define XVM_ALGEBRA_ANALYZE_BUILD_PLAN_H_
+
+#include <vector>
+
+#include "algebra/analyze/plan.h"
+#include "pattern/compile.h"
+#include "pattern/tree_pattern.h"
+
+namespace xvm {
+
+/// Builders that reconstruct, as explicit plan IR, exactly the operator
+/// pipelines the evaluators execute: EvalTreePattern / EvalPatternSubtree
+/// (pattern/compile.cc), EvalViewWithCounts, and the union-term evaluation
+/// of MaintainedView::EvaluateTerm (view/maintain.cc). Keeping the builders
+/// in lock-step with the evaluators is enforced by the meta-check: every
+/// plan the compiler emits must pass AnalyzePlan, and the analyzed schemas
+/// must equal the schemas the evaluators produce (see tests/analyze_test.cc
+/// and the fuzz suites).
+
+/// Which table feeds each pattern-node leaf.
+enum class PlanLeafSourceKind : uint8_t {
+  kStore,  // canonical relation R_label
+  kDelta,  // Δ table of the current statement
+};
+
+/// Leaf plan of pattern node `i`, honoring the LeafSource contract: columns
+/// "<name>.ID" [, "<name>.val"][, "<name>.cont"] (val present iff stored or
+/// value-predicated), rows sorted by and unique on the ID column.
+PlanNodePtr BuildLeafPlan(const TreePattern& pattern, int node,
+                          PlanLeafSourceKind src);
+
+/// Mirrors EvalPatternSubtree/EvalNodeRec: the binding plan of the pattern
+/// subtree rooted at `root`, restricted to `subset` when non-null. Output
+/// column order is pre-order over the subtree; first column is `root`'s ID.
+PlanNodePtr BuildPatternSubtreePlan(const TreePattern& pattern, int root,
+                                    const std::vector<bool>* subset,
+                                    PlanLeafSourceKind src);
+
+/// Mirrors EvalTreePattern: full binding plan, finally sorted by every ID
+/// column of the canonical (pre-order) layout.
+PlanNodePtr BuildPatternPlan(const TreePattern& pattern,
+                             const std::vector<bool>* subset,
+                             PlanLeafSourceKind src);
+
+/// Mirrors EvalViewWithCounts: project the stored attributes out of the
+/// full binding plan, then duplicate-eliminate with derivation counts.
+PlanNodePtr BuildViewPlan(const TreePattern& pattern);
+
+/// Mirrors MaintainedView::EvaluateTerm for the union term with Δ-set
+/// `delta_set` inside `within`: evaluate the R-part (a materialized snowcap
+/// leaf when `r_part_materialized`, else recomputed from store leaves), join
+/// the Δ sub-patterns hanging off the snowcap frontier, optionally filter
+/// R-side bindings against the deleted region (`with_region`), and project
+/// back to the canonical pre-order layout of `within`.
+PlanNodePtr BuildTermPlan(const TreePattern& pattern,
+                          const std::vector<bool>& within,
+                          const std::vector<bool>& delta_set,
+                          bool r_part_materialized, bool with_region);
+
+}  // namespace xvm
+
+#endif  // XVM_ALGEBRA_ANALYZE_BUILD_PLAN_H_

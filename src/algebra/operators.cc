@@ -187,7 +187,7 @@ Relation StructuralJoin(const Relation& outer, int outer_col,
 }
 
 Relation UnionAll(Relation a, const Relation& b) {
-  if (a.schema.size() == 0 && a.rows.empty()) {
+  if (a.schema.empty() && a.rows.empty()) {
     a.schema = b.schema;
   }
   XVM_CHECK(a.schema.size() == b.schema.size());

@@ -72,6 +72,7 @@ class Schema {
   explicit Schema(std::vector<Column> cols) : cols_(std::move(cols)) {}
 
   size_t size() const { return cols_.size(); }
+  bool empty() const { return cols_.empty(); }
   const Column& col(size_t i) const { return cols_[i]; }
   const std::vector<Column>& cols() const { return cols_; }
 

@@ -35,7 +35,7 @@ BindingLayout ComputeBindingLayout(const TreePattern& pattern,
                                    const std::vector<bool>* subset) {
   BindingLayout out;
   out.per_node.resize(pattern.size());
-  if (pattern.size() > 0 && Included(subset, 0)) {
+  if (!pattern.empty() && Included(subset, 0)) {
     LayoutRec(pattern, subset, 0, &out);
   }
   return out;
@@ -122,7 +122,7 @@ Relation EvalNodeRec(const TreePattern& pattern, const LeafSource& leaf_source,
 Relation EvalTreePattern(const TreePattern& pattern,
                          const LeafSource& leaf_source,
                          const std::vector<bool>* subset) {
-  XVM_CHECK(pattern.size() > 0);
+  XVM_CHECK(!pattern.empty());
   XVM_CHECK(Included(subset, 0));
   Relation rel = EvalNodeRec(pattern, leaf_source, subset, 0);
   // Deterministic output: sort by every ID column (the paper's s_cols).

@@ -92,14 +92,28 @@ StatusOr<TreePattern> PatternFromXPath(const XPathExpr& expr,
                                        ResultAnnotation result) {
   TreePattern pattern;
   int cur = -1;
-  for (const XPathStep& step : expr.steps) {
-    XVM_ASSIGN_OR_RETURN(int idx, AddStepNode(step, cur, &pattern));
-    // Main-path nodes store IDs (the paper's experimental setup).
-    pattern.mutable_node(idx).store_id = true;
-    for (const auto& pred : step.predicates) {
-      XVM_RETURN_IF_ERROR(AddPredicate(pred, idx, &pattern));
+  for (size_t i = 0; i < expr.steps.size(); ++i) {
+    const XPathStep& step = expr.steps[i];
+    Status status = Status::Ok();
+    StatusOr<int> idx = AddStepNode(step, cur, &pattern);
+    if (idx.ok()) {
+      // Main-path nodes store IDs (the paper's experimental setup).
+      pattern.mutable_node(*idx).store_id = true;
+      for (const auto& pred : step.predicates) {
+        status = AddPredicate(pred, *idx, &pattern);
+        if (!status.ok()) break;
+      }
+    } else {
+      status = idx.status();
     }
-    cur = idx;
+    if (!status.ok()) {
+      // Every rejection names the offending step so the user can find it in
+      // a long expression.
+      return Status::InvalidArgument(status.message() + " (step " +
+                                     std::to_string(i + 1) + ": '" +
+                                     XPathStepToString(step) + "')");
+    }
+    cur = *idx;
   }
   if (cur < 0) return Status::InvalidArgument("empty path");
   PatternNode& last = pattern.mutable_node(cur);

@@ -59,6 +59,7 @@ class TreePattern {
   int AddNode(PatternNode node);
 
   size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
   const PatternNode& node(int i) const {
     return nodes_[static_cast<size_t>(i)];
   }

@@ -164,7 +164,7 @@ Relation PrepareLeaf(const TreePattern& pattern, const LeafSource& leaf_source,
 Relation EvalTreePatternTwig(const TreePattern& pattern,
                              const LeafSource& leaf_source,
                              const std::vector<bool>* subset) {
-  XVM_CHECK(pattern.size() > 0);
+  XVM_CHECK(!pattern.empty());
   XVM_CHECK(subset == nullptr || (*subset)[0]);
 
   // 1. Decompose into root-to-leaf paths.

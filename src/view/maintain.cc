@@ -5,6 +5,7 @@
 #include "common/invariant.h"
 #include "store/audit.h"
 #include "view/audit.h"
+#include "view/plan_check.h"
 
 namespace xvm {
 
@@ -100,7 +101,27 @@ void MaintainedView::PrecomputeTermSets() {
   }
 }
 
-void MaintainedView::Initialize() { RecomputeFromStore(); }
+void MaintainedView::Initialize() {
+  if (InvariantAuditingEnabled()) {
+    Status s = CheckPlans();
+    if (!s.ok()) {
+      InvariantReport report;
+      report.Add("view.plan_analysis", s.message());
+      InvariantAuditFailed(report, "MaintainedView::Initialize");
+    }
+  }
+  RecomputeFromStore();
+}
+
+Status MaintainedView::CheckPlans() const {
+  std::vector<NodeSet> snowcap_nodes;
+  snowcap_nodes.reserve(lattice_.snowcaps().size());
+  for (const auto& sc : lattice_.snowcaps()) snowcap_nodes.push_back(sc.nodes);
+  XVM_ASSIGN_OR_RETURN(ViewPlanReport report,
+                       AnalyzeViewPlans(def_, snowcap_nodes));
+  (void)report;
+  return Status::Ok();
+}
 
 bool MaintainedView::TermPruned(const NodeSet& delta_set,
                                 const NodeSet& within,

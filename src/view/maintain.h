@@ -72,6 +72,15 @@ class MaintainedView {
   /// lattice snowcaps. Call once, after the store is built.
   void Initialize();
 
+  /// Static plan analysis over every operator pipeline this view's
+  /// maintenance will ever run (view/plan_check.h): base evaluation, each
+  /// Δ-rewrite union term, each snowcap-maintenance term. Returns
+  /// InvalidArgument with an operator-path diagnostic on the first
+  /// violation. ViewManager::AddView calls this before Initialize();
+  /// debug builds (XVM_CHECK_INVARIANTS=1) additionally re-run it inside
+  /// Initialize() and abort on failure.
+  Status CheckPlans() const;
+
   const ViewDefinition& def() const { return def_; }
   const MaterializedView& view() const { return view_; }
   const ViewLattice& lattice() const { return lattice_; }

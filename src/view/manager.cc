@@ -93,17 +93,22 @@ Status DecodeManifest(const std::string& bytes, Manifest* m) {
 
 }  // namespace
 
-size_t ViewManager::AddView(ViewDefinition def, LatticeStrategy strategy) {
-  views_.push_back(
-      std::make_unique<MaintainedView>(std::move(def), store_, strategy));
+StatusOr<size_t> ViewManager::AddView(ViewDefinition def,
+                                      LatticeStrategy strategy) {
+  auto view =
+      std::make_unique<MaintainedView>(std::move(def), store_, strategy);
+  XVM_RETURN_IF_ERROR(view->CheckPlans());
+  views_.push_back(std::move(view));
   views_.back()->Initialize();
   return views_.size() - 1;
 }
 
-size_t ViewManager::AddView(ViewDefinition def,
-                            std::vector<NodeSet> snowcaps) {
-  views_.push_back(std::make_unique<MaintainedView>(std::move(def), store_,
-                                                    std::move(snowcaps)));
+StatusOr<size_t> ViewManager::AddView(ViewDefinition def,
+                                      std::vector<NodeSet> snowcaps) {
+  auto view = std::make_unique<MaintainedView>(std::move(def), store_,
+                                               std::move(snowcaps));
+  XVM_RETURN_IF_ERROR(view->CheckPlans());
+  views_.push_back(std::move(view));
   views_.back()->Initialize();
   return views_.size() - 1;
 }

@@ -68,9 +68,13 @@ class ViewManager {
   ViewManager(const ViewManager&) = delete;
   ViewManager& operator=(const ViewManager&) = delete;
 
-  /// Registers and initializes a view. Returns its index.
-  size_t AddView(ViewDefinition def, LatticeStrategy strategy);
-  size_t AddView(ViewDefinition def, std::vector<NodeSet> snowcaps);
+  /// Registers and initializes a view. Returns its index. Before any data
+  /// is touched, every plan the view's maintenance will run is statically
+  /// analyzed (MaintainedView::CheckPlans); a view whose plans fail schema
+  /// inference or order-property verification is rejected with
+  /// InvalidArgument and not registered.
+  StatusOr<size_t> AddView(ViewDefinition def, LatticeStrategy strategy);
+  StatusOr<size_t> AddView(ViewDefinition def, std::vector<NodeSet> snowcaps);
 
   size_t size() const { return views_.size(); }
   const MaintainedView& view(size_t i) const { return *views_[i]; }

@@ -1,0 +1,154 @@
+#include "view/plan_check.h"
+
+#include <utility>
+
+#include "algebra/analyze/build_plan.h"
+#include "pattern/compile.h"
+
+namespace xvm {
+
+namespace {
+
+std::string SchemaMismatch(const std::string& what, const Schema& got,
+                           const Schema& want) {
+  return what + " schema mismatch:\n  inferred: " + got.ToString() +
+         "\n  expected: " + want.ToString();
+}
+
+/// Analyzes one union-term plan and checks union compatibility with the
+/// canonical layout of `within`.
+Status CheckTermPlan(const ViewDefinition& def, const NodeSet& within,
+                     const NodeSet& delta_set, const Schema& canon,
+                     bool materialized, bool with_region) {
+  const TreePattern& pat = def.pattern();
+  PlanNodePtr plan =
+      BuildTermPlan(pat, within, delta_set, materialized, with_region);
+  auto facts = AnalyzePlan(*plan);
+  std::string term = "Δ-set " + NodeSetToString(pat, delta_set) + " within " +
+                     NodeSetToString(pat, within) +
+                     (materialized ? ", materialized t_R" : ", recomputed t_R") +
+                     (with_region ? ", with σ_alive" : "");
+  if (!facts.ok()) {
+    return Status::InvalidArgument("view '" + def.name() + "', term " + term +
+                                   ": " + facts.status().message());
+  }
+  if (!(facts->schema == canon)) {
+    return Status::InvalidArgument(
+        "view '" + def.name() + "', term " + term + ": " +
+        SchemaMismatch("union-term", facts->schema, canon));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string ViewPlanReport::ToString(const ViewDefinition& def) const {
+  std::string out;
+  out += "view " + def.name() + ": OK\n";
+  out += "  pattern: " + def.pattern().ToString() + "\n";
+  out += "  tuple schema: " + def.tuple_schema().ToString() + "\n";
+  out += "  view facts: " + view_facts.ToString() + "\n";
+  out += "  binding facts: " + binding_facts.ToString() + "\n";
+  out += "  stored-ID key: " +
+         std::string(stored_ids_form_key ? "proven" : "unproven") + "\n";
+  out += "  Δ union-term plans checked: " +
+         std::to_string(delta_plans_checked) + "\n";
+  out += "  snowcap term plans checked: " +
+         std::to_string(snowcap_plans_checked) + "\n";
+  return out;
+}
+
+StatusOr<ViewPlanReport> AnalyzeViewPlans(
+    const ViewDefinition& def,
+    const std::vector<NodeSet>& materialized_snowcaps) {
+  const TreePattern& pat = def.pattern();
+  ViewPlanReport report;
+
+  // Full canonical-binding plan (what RecomputeFromStore and every t_R
+  // recomputation run).
+  BindingLayout full = ComputeBindingLayout(pat, nullptr);
+  {
+    PlanNodePtr plan =
+        BuildPatternPlan(pat, nullptr, PlanLeafSourceKind::kStore);
+    XVM_ASSIGN_OR_RETURN(report.binding_facts, AnalyzePlan(*plan));
+    if (!(report.binding_facts.schema == full.schema)) {
+      return Status::InvalidArgument(
+          "view '" + def.name() + "': " +
+          SchemaMismatch("binding plan", report.binding_facts.schema,
+                         full.schema));
+    }
+  }
+
+  // Stored-tuple plan (EvalViewWithCounts): schema must be the declared
+  // tuple schema, and the stored ID columns must provably key the view —
+  // PDMT removes tuples by that key.
+  {
+    PlanNodePtr plan = BuildViewPlan(pat);
+    XVM_ASSIGN_OR_RETURN(report.view_facts, AnalyzePlan(*plan));
+    if (!(report.view_facts.schema == def.tuple_schema())) {
+      return Status::InvalidArgument(
+          "view '" + def.name() + "': " +
+          SchemaMismatch("view plan", report.view_facts.schema,
+                         def.tuple_schema()));
+    }
+    std::vector<int> id_positions;
+    for (size_t c = 0; c < def.tuple_schema().size(); ++c) {
+      if (def.tuple_schema().col(c).kind == ValueKind::kId) {
+        id_positions.push_back(static_cast<int>(c));
+      }
+    }
+    if (!report.view_facts.HasKeyWithin(id_positions)) {
+      return Status::InvalidArgument(
+          "view '" + def.name() +
+          "': cannot prove that the stored ID columns key the view "
+          "(remove-by-ID-key maintenance requires it)\n  proven facts: " +
+          report.view_facts.ToString());
+    }
+    report.stored_ids_form_key = true;
+  }
+
+  // Every Δ union-term plan maintenance can run against the full pattern:
+  // both t_R variants (the lattice may or may not hold the snowcap) and
+  // both σ_alive modes (pure inserts vs statements that also delete).
+  NodeSet all(pat.size(), true);
+  for (const NodeSet& ds : EnumerateDeltaSets(pat)) {
+    for (bool materialized : {false, true}) {
+      for (bool with_region : {false, true}) {
+        XVM_RETURN_IF_ERROR(
+            CheckTermPlan(def, all, ds, full.schema, materialized,
+                          with_region));
+        ++report.delta_plans_checked;
+      }
+    }
+  }
+
+  // Auxiliary-structure maintenance: each materialized snowcap is itself
+  // kept incrementally via the same union-term rewriting, restricted to the
+  // snowcap's sub-pattern.
+  for (const NodeSet& sc : materialized_snowcaps) {
+    BindingLayout sl = ComputeBindingLayout(pat, &sc);
+    {
+      PlanNodePtr base = BuildPatternPlan(pat, &sc, PlanLeafSourceKind::kStore);
+      XVM_ASSIGN_OR_RETURN(PlanFacts facts, AnalyzePlan(*base));
+      if (!(facts.schema == sl.schema)) {
+        return Status::InvalidArgument(
+            "view '" + def.name() + "', snowcap " +
+            NodeSetToString(pat, sc) + ": " +
+            SchemaMismatch("snowcap plan", facts.schema, sl.schema));
+      }
+    }
+    for (const NodeSet& ds : EnumerateDeltaSetsWithin(pat, sc)) {
+      for (bool materialized : {false, true}) {
+        for (bool with_region : {false, true}) {
+          XVM_RETURN_IF_ERROR(CheckTermPlan(def, sc, ds, sl.schema,
+                                            materialized, with_region));
+          ++report.snowcap_plans_checked;
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace xvm

@@ -1,0 +1,48 @@
+#ifndef XVM_VIEW_PLAN_CHECK_H_
+#define XVM_VIEW_PLAN_CHECK_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "algebra/analyze/analyze.h"
+#include "common/status.h"
+#include "view/terms.h"
+#include "view/view_def.h"
+
+namespace xvm {
+
+/// Result of statically analyzing every plan maintenance will ever run for
+/// one view: the base view plan, the full-binding plan, all Δ union-term
+/// plans (both t_R variants, with and without the σ_alive region filter),
+/// and all snowcap-maintenance term plans.
+struct ViewPlanReport {
+  PlanFacts binding_facts;  // full canonical-binding plan (EvalTreePattern)
+  PlanFacts view_facts;     // stored-tuple plan (EvalViewWithCounts)
+  size_t delta_plans_checked = 0;    // PIMT/PDMT union-term plans
+  size_t snowcap_plans_checked = 0;  // auxiliary-structure term plans
+  bool stored_ids_form_key = false;  // proven: stored ID columns key the view
+
+  /// Multi-line human-readable rendering for planlint.
+  std::string ToString(const ViewDefinition& def) const;
+};
+
+/// The install-time gate (DESIGN.md §4, "Static plan analysis"): builds the
+/// plan IR of every operator pipeline maintenance will run for `def` —
+/// base evaluation, each Δ-rewrite union term over the given materialized
+/// snowcap node sets — and runs AnalyzePlan over each. Verifies on top of
+/// per-plan analysis that
+///   * every plan's output schema equals the canonical layout maintenance
+///     projects into (term plans must be union-compatible with the view),
+///   * the view plan's schema equals def.tuple_schema(),
+///   * the stored ID columns provably key the view — the fact PDMT's
+///     remove-by-ID-key relies on.
+/// Returns InvalidArgument with the offending term's Δ-set and the
+/// analyzer's operator-path diagnostic on the first violation.
+StatusOr<ViewPlanReport> AnalyzeViewPlans(
+    const ViewDefinition& def,
+    const std::vector<NodeSet>& materialized_snowcaps);
+
+}  // namespace xvm
+
+#endif  // XVM_VIEW_PLAN_CHECK_H_

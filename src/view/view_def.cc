@@ -15,7 +15,7 @@ StatusOr<ViewDefinition> ViewDefinition::FromPattern(std::string name,
   def.name_ = std::move(name);
   def.pattern_ = std::move(pattern);
   def.tuple_schema_ = ViewTupleSchema(def.pattern_);
-  if (def.tuple_schema_.size() == 0) {
+  if (def.tuple_schema_.empty()) {
     return Status::InvalidArgument(
         "view '" + def.name_ + "' stores no attributes; annotate at least "
         "one node with {id}, {val} or {cont}");

@@ -33,6 +33,13 @@ class ViewDefinition {
   /// Pattern nodes annotated with val or cont (the paper's cvn set).
   const std::vector<int>& cvn() const { return cvn_; }
 
+  /// Test-only access for corrupting the pattern *after* construction (the
+  /// factories validate, so ill-formed definitions cannot be built the
+  /// normal way). Lets tests exercise the install-time plan gate: mutating
+  /// the pattern desynchronizes it from the precomputed tuple schema, which
+  /// AnalyzeViewPlans must then reject.
+  TreePattern& mutable_pattern_for_testing() { return pattern_; }
+
   /// Labels for which a Δ− extraction must capture node string values:
   /// labels of pattern nodes carrying a value predicate (their Δ− rows must
   /// be filterable by σ just like R rows).

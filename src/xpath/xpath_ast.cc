@@ -73,4 +73,10 @@ std::string XPathExpr::ToString() const {
   return out;
 }
 
+std::string XPathStepToString(const XPathStep& step) {
+  std::string out;
+  AppendStep(step, &out);
+  return out;
+}
+
 }  // namespace xvm

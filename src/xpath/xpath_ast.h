@@ -67,6 +67,10 @@ struct XPathExpr {
   std::string ToString() const;
 };
 
+/// Renders one step including its predicates, e.g. "//bidder[increase]".
+/// Used by diagnostics that point at the offending step of an expression.
+std::string XPathStepToString(const XPathStep& step);
+
 /// Parses an absolute XPath expression ("/a/b[c and @d='x']//e").
 StatusOr<XPathExpr> ParseXPath(std::string_view text);
 

@@ -82,7 +82,9 @@ Fixture MakeInitial() {
   for (const char* name : kViewNames) {
     auto def = XMarkView(name);
     XVM_CHECK(def.ok());
-    f.mgr->AddView(std::move(def).value(), LatticeStrategy::kSnowcaps);
+    XVM_CHECK(
+        f.mgr->AddView(std::move(def).value(), LatticeStrategy::kSnowcaps)
+            .ok());
   }
   return f;
 }
@@ -97,7 +99,9 @@ Fixture MakeEmpty() {
   for (const char* name : kViewNames) {
     auto def = XMarkView(name);
     XVM_CHECK(def.ok());
-    f.mgr->AddView(std::move(def).value(), LatticeStrategy::kSnowcaps);
+    XVM_CHECK(
+        f.mgr->AddView(std::move(def).value(), LatticeStrategy::kSnowcaps)
+            .ok());
   }
   return f;
 }

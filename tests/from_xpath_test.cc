@@ -61,6 +61,41 @@ TEST(FromXPathTest, RejectsNonConjunctiveFeatures) {
                                       ResultAnnotation::kId).ok());
 }
 
+// Every unsupported construct must come back as InvalidArgument (never a
+// crash or a wrong code) with a message that names the position of the
+// offense: parser errors carry the input offset, translation errors carry
+// the 1-based step index plus the rendered step.
+TEST(FromXPathTest, RejectionDiagnosticsCarryPositions) {
+  struct Case {
+    const char* xpath;
+    const char* message_fragment;  // required substring of the diagnostic
+  };
+  const Case kCases[] = {
+      // Translation-level rejections: step index + rendered step.
+      {"//a/*/b", "(step 2: '/*')"},
+      {"/site/people/*", "(step 3: '/*')"},
+      {"//a[b or c]", "(step 1: '//a[(b or c)]')"},
+      {"//a/b[c!=\"x\"]", "(step 2: '/b[c!=\"x\"]')"},
+      {"//a[. = \"1\" and . = \"2\"]", "(step 1: "},
+      {"//a[. = \"1\" and . = \"2\"]", "conflicting value predicates"},
+      {"//a/b[* or c]", "(step 2: "},
+      // Parser-level rejections: byte offset into the input.
+      {"//a[b", "at offset 5"},
+      {"not a path", "at offset 0"},
+      {"", "at offset 0"},
+      {"//a[b=\"unterminated]", "at offset"},
+  };
+  for (const Case& c : kCases) {
+    auto p = PatternFromXPathString(c.xpath, ResultAnnotation::kId);
+    ASSERT_FALSE(p.ok()) << c.xpath;
+    EXPECT_TRUE(p.status().code() == StatusCode::kInvalidArgument ||
+                p.status().code() == StatusCode::kParseError)
+        << c.xpath << " -> " << p.status().ToString();
+    EXPECT_NE(p.status().message().find(c.message_fragment), std::string::npos)
+        << c.xpath << " diagnostic was: " << p.status().message();
+  }
+}
+
 TEST(FromXPathTest, TranslatedPatternMatchesXPathSemantics) {
   // The pattern's result-node bindings must be exactly the XPath's result.
   Document doc;

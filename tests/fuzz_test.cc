@@ -216,7 +216,10 @@ TEST_P(FuzzParallelManagerTest, ParallelEqualsSerialUnderRandomStream) {
         auto def = ViewDefinition::FromPattern("v" + std::to_string(v),
                                                std::move(p).value());
         XVM_CHECK(def.ok());
-        mgr->AddView(std::move(def).value(), strategies[v]);
+        // Meta-check: the static analyzer must accept every plan the
+        // compiler emits, for every fuzzed pattern/strategy combination.
+        auto idx = mgr->AddView(std::move(def).value(), strategies[v]);
+        XVM_CHECK(idx.ok());
       }
     }
     Document doc;

@@ -192,7 +192,8 @@ TEST(InvariantAuditDeathTest, ManagerAbortsOnCorruptStore) {
   ASSERT_TRUE(pattern.ok());
   auto def = ViewDefinition::FromPattern("v", std::move(pattern).value());
   ASSERT_TRUE(def.ok());
-  mgr.AddView(std::move(def).value(), LatticeStrategy::kLeaves);
+  ASSERT_TRUE(
+      mgr.AddView(std::move(def).value(), LatticeStrategy::kLeaves).ok());
   auto* nodes = wb.store.MutableNodesForTesting(wb.Label("a"));
   std::swap((*nodes)[0], (*nodes)[1]);
   EXPECT_DEATH(

@@ -33,16 +33,18 @@ struct Workbench {
     for (const std::string& name : XMarkViewNames()) {
       auto def = XMarkView(name);
       EXPECT_TRUE(def.ok()) << name;
-      mgr->AddView(std::move(def).value(),
-                   (i++ % 2 == 0) ? LatticeStrategy::kSnowcaps
-                                  : LatticeStrategy::kLeaves);
+      auto idx = mgr->AddView(std::move(def).value(),
+                              (i++ % 2 == 0) ? LatticeStrategy::kSnowcaps
+                                             : LatticeStrategy::kLeaves);
+      EXPECT_TRUE(idx.ok()) << idx.status().message();
     }
     for (const char* variant : {"VC_Leaf", "VC_All"}) {
       auto def = XMarkQ1Variant(variant);
       EXPECT_TRUE(def.ok()) << variant;
-      mgr->AddView(std::move(def).value(),
-                   (i++ % 2 == 0) ? LatticeStrategy::kSnowcaps
-                                  : LatticeStrategy::kLeaves);
+      auto idx = mgr->AddView(std::move(def).value(),
+                              (i++ % 2 == 0) ? LatticeStrategy::kSnowcaps
+                                             : LatticeStrategy::kLeaves);
+      EXPECT_TRUE(idx.ok()) << idx.status().message();
     }
   }
 

@@ -34,7 +34,7 @@ TEST(ViewManagerTest, MultipleViewsFollowOneStream) {
   for (const char* name : {"Q1", "Q2", "Q17"}) {
     auto def = XMarkView(name);
     ASSERT_TRUE(def.ok());
-    mgr.AddView(std::move(def).value(), LatticeStrategy::kSnowcaps);
+    ASSERT_TRUE(mgr.AddView(std::move(def).value(), LatticeStrategy::kSnowcaps).ok());
   }
   ASSERT_EQ(mgr.size(), 3u);
 
@@ -63,7 +63,7 @@ TEST(ViewManagerTest, SharedDeltaNeedsCoverAllViews) {
   for (const char* name : {"Q2", "Q3"}) {
     auto def = XMarkView(name);
     ASSERT_TRUE(def.ok());
-    mgr.AddView(std::move(def).value(), LatticeStrategy::kSnowcaps);
+    ASSERT_TRUE(mgr.AddView(std::move(def).value(), LatticeStrategy::kSnowcaps).ok());
   }
   auto u = FindXMarkUpdate("X2_L");
   ASSERT_TRUE(u.ok());
@@ -83,7 +83,8 @@ TEST(ViewManagerTest, PredicateGuardFallbackHandled) {
   ViewManager mgr(&doc, &store);
   auto def = ViewDefinition::Create("v", "//a{id}[val=\"5\"](//b{id})");
   ASSERT_TRUE(def.ok());
-  mgr.AddView(std::move(def).value(), LatticeStrategy::kSnowcaps);
+  ASSERT_TRUE(
+      mgr.AddView(std::move(def).value(), LatticeStrategy::kSnowcaps).ok());
 
   // Deleting <t>x</t> changes the first a's string value from "5x" — wait,
   // it changes "5x" to "5": the predicate flips from false to true.
@@ -105,7 +106,7 @@ TEST(ViewManagerTest, SharedPhasesReportedSeparately) {
   for (const char* name : {"Q1", "Q2"}) {
     auto def = XMarkView(name);
     ASSERT_TRUE(def.ok());
-    mgr.AddView(std::move(def).value(), LatticeStrategy::kSnowcaps);
+    ASSERT_TRUE(mgr.AddView(std::move(def).value(), LatticeStrategy::kSnowcaps).ok());
   }
   auto u = FindXMarkUpdate("X1_L");
   ASSERT_TRUE(u.ok());
@@ -140,7 +141,7 @@ TEST(ViewManagerTest, MultiViewReplaceExcludesReplacedSubtree) {
   for (const char* pat : {"//l{id}(//b{id})", "//a{id}(//b{id,val})"}) {
     auto def = ViewDefinition::Create(std::string("v") + pat, pat);
     ASSERT_TRUE(def.ok());
-    mgr.AddView(std::move(def).value(), LatticeStrategy::kSnowcaps);
+    ASSERT_TRUE(mgr.AddView(std::move(def).value(), LatticeStrategy::kSnowcaps).ok());
   }
   // Replace each l's content: the old a/b subtrees leave the views; the new
   // ones enter; nothing may pair new Δ+ nodes with replaced R nodes.
@@ -162,7 +163,8 @@ TEST(ViewManagerTest, ParallelEngineMatchesSerial) {
     for (const char* name : {"Q1", "Q2", "Q6", "Q17"}) {
       auto def = XMarkView(name);
       EXPECT_TRUE(def.ok());
-      mgr->AddView(std::move(def).value(), LatticeStrategy::kSnowcaps);
+      EXPECT_TRUE(
+          mgr->AddView(std::move(def).value(), LatticeStrategy::kSnowcaps).ok());
     }
     return mgr;
   };
@@ -202,7 +204,8 @@ TEST(ViewManagerTest, FindViewByName) {
   ViewManager mgr(&doc, &store);
   auto def = XMarkView("Q1");
   ASSERT_TRUE(def.ok());
-  mgr.AddView(std::move(def).value(), LatticeStrategy::kLeaves);
+  ASSERT_TRUE(
+      mgr.AddView(std::move(def).value(), LatticeStrategy::kLeaves).ok());
   EXPECT_NE(mgr.FindView("Q1"), nullptr);
   EXPECT_EQ(mgr.FindView("Q9"), nullptr);
 }
@@ -216,8 +219,10 @@ TEST(ViewManagerTest, MixedStrategiesStayConsistent) {
   auto q1 = XMarkView("Q1");
   auto q6 = XMarkView("Q6");
   ASSERT_TRUE(q1.ok() && q6.ok());
-  mgr.AddView(std::move(q1).value(), LatticeStrategy::kSnowcaps);
-  mgr.AddView(std::move(q6).value(), LatticeStrategy::kLeaves);
+  ASSERT_TRUE(
+      mgr.AddView(std::move(q1).value(), LatticeStrategy::kSnowcaps).ok());
+  ASSERT_TRUE(
+      mgr.AddView(std::move(q6).value(), LatticeStrategy::kLeaves).ok());
 
   for (const char* uname : {"X1_L", "E6_L"}) {
     auto u = FindXMarkUpdate(uname);

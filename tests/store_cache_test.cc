@@ -258,9 +258,10 @@ TEST(StoreCacheStressTest, ParallelManagerWithCacheMatchesUncachedSerial) {
       for (const std::string& name : XMarkViewNames()) {
         auto def = XMarkView(name);
         EXPECT_TRUE(def.ok()) << name;
-        mgr->AddView(std::move(def).value(),
-                     (i++ % 2 == 0) ? LatticeStrategy::kSnowcaps
-                                    : LatticeStrategy::kLeaves);
+        auto idx = mgr->AddView(std::move(def).value(),
+                                (i++ % 2 == 0) ? LatticeStrategy::kSnowcaps
+                                               : LatticeStrategy::kLeaves);
+        EXPECT_TRUE(idx.ok()) << idx.status().message();
       }
     }
     Document doc;

@@ -1,0 +1,21 @@
+# Runs ${PLANLINT} over ${INPUT} and requires exit code ${EXPECTED_EXIT} and
+# stdout equal to the committed ${GOLDEN} file.
+
+execute_process(
+    COMMAND ${PLANLINT} ${INPUT}
+    OUTPUT_VARIABLE actual
+    ERROR_VARIABLE stderr
+    RESULT_VARIABLE code)
+
+if(NOT code EQUAL EXPECTED_EXIT)
+  message(FATAL_ERROR
+      "planlint exited with ${code}, expected ${EXPECTED_EXIT}\n"
+      "stdout:\n${actual}\nstderr:\n${stderr}")
+endif()
+
+file(READ ${GOLDEN} golden)
+if(NOT actual STREQUAL golden)
+  message(FATAL_ERROR
+      "planlint output differs from ${GOLDEN}\n"
+      "---- actual ----\n${actual}\n---- golden ----\n${golden}")
+endif()

@@ -1,0 +1,142 @@
+// planlint: install-time linter for view definitions.
+//
+// Compiles each view of a .lint corpus into the tree-pattern dialect P,
+// builds the plan IR of every operator pipeline maintenance would run for
+// it (base evaluation, all Δ-rewrite union terms, all snowcap-maintenance
+// terms) and runs the static analyzer over each plan (DESIGN.md §4,
+// "Static plan analysis"). Accepted views print their inferred facts;
+// rejected views print the compile or analysis diagnostic.
+//
+// Corpus format, one directive per line (# starts a comment):
+//   view NAME xpath id|idval|idcont XPATH-EXPRESSION
+//   view NAME pattern PATTERN-DSL
+//
+// Exit codes: 0 every view accepted, 1 at least one view rejected,
+// 2 usage / unreadable file / malformed directive.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pattern/from_xpath.h"
+#include "view/lattice.h"
+#include "view/plan_check.h"
+#include "view/view_def.h"
+
+namespace xvm {
+namespace {
+
+/// Indents every line of a (possibly multi-line) diagnostic by two spaces.
+std::string Indent(const std::string& text) {
+  std::string out = "  ";
+  for (char c : text) {
+    out += c;
+    if (c == '\n') out += "  ";
+  }
+  while (!out.empty() && (out.back() == ' ' || out.back() == '\n')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+StatusOr<ViewDefinition> CompileDirective(const std::string& name,
+                                          const std::string& kind,
+                                          const std::string& rest) {
+  if (kind == "pattern") {
+    return ViewDefinition::Create(name, rest);
+  }
+  if (kind == "xpath") {
+    std::istringstream in(rest);
+    std::string annot, expr;
+    in >> annot;
+    std::getline(in, expr);
+    while (!expr.empty() && expr.front() == ' ') expr.erase(expr.begin());
+    ResultAnnotation result;
+    if (annot == "id") {
+      result = ResultAnnotation::kId;
+    } else if (annot == "idval") {
+      result = ResultAnnotation::kIdVal;
+    } else if (annot == "idcont") {
+      result = ResultAnnotation::kIdCont;
+    } else {
+      return Status::InvalidArgument("unknown result annotation '" + annot +
+                                     "' (want id|idval|idcont)");
+    }
+    XVM_ASSIGN_OR_RETURN(TreePattern pattern,
+                         PatternFromXPathString(expr, result));
+    return ViewDefinition::FromPattern(name, std::move(pattern));
+  }
+  return Status::InvalidArgument("unknown view kind '" + kind +
+                                 "' (want xpath|pattern)");
+}
+
+/// Lints one view directive; returns true iff the view was accepted.
+bool LintView(const std::string& name, const std::string& kind,
+              const std::string& rest) {
+  auto def = CompileDirective(name, kind, rest);
+  if (!def.ok()) {
+    std::cout << "view " << name << ": REJECTED (compile)\n"
+              << Indent(def.status().message()) << "\n";
+    return false;
+  }
+  // The same snowcap chain AddView would materialize; its node sets are
+  // derived from the pattern alone, so no document/store is needed.
+  ViewLattice lattice(&def->pattern(), LatticeStrategy::kSnowcaps);
+  std::vector<NodeSet> snowcap_nodes;
+  for (const auto& sc : lattice.snowcaps()) snowcap_nodes.push_back(sc.nodes);
+  auto report = AnalyzeViewPlans(*def, snowcap_nodes);
+  if (!report.ok()) {
+    std::cout << "view " << name << ": REJECTED (plan analysis)\n"
+              << Indent(report.status().message()) << "\n";
+    return false;
+  }
+  std::cout << report->ToString(*def);
+  return true;
+}
+
+int Run(const std::vector<std::string>& files) {
+  size_t views = 0;
+  size_t rejected = 0;
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "planlint: cannot open " << path << "\n";
+      return 2;
+    }
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      std::istringstream tok(line);
+      std::string word;
+      if (!(tok >> word) || word[0] == '#') continue;
+      std::string name, kind, rest;
+      if (word != "view" || !(tok >> name >> kind)) {
+        std::cerr << "planlint: " << path << ":" << lineno
+                  << ": malformed directive (want: view NAME xpath|pattern "
+                     "...)\n";
+        return 2;
+      }
+      std::getline(tok, rest);
+      while (!rest.empty() && rest.front() == ' ') rest.erase(rest.begin());
+      ++views;
+      if (!LintView(name, kind, rest)) ++rejected;
+    }
+  }
+  std::cout << "planlint: " << views << " view(s), " << rejected
+            << " rejected\n";
+  return rejected == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace xvm
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: planlint <views-file>...\n";
+    return 2;
+  }
+  return xvm::Run(std::vector<std::string>(argv + 1, argv + argc));
+}
