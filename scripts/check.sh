@@ -23,6 +23,9 @@
 #   7. TSan re-run of the val/cont cache stress test with the cache forced
 #      on (XVM_CONT_CACHE=1), so the striped-lock cache is raced by the
 #      parallel ViewManager regardless of the build's compiled default.
+#   8. TSan re-run of the snapshot-serving suite: concurrent reader threads
+#      race the maintenance coordinator through the RCU publication slot,
+#      and every observed snapshot is replay-verified against a recompute.
 #
 # Every configuration is exported with CMAKE_EXPORT_COMPILE_COMMANDS=ON so
 # clang-tidy and the thread-safety leg analyze against the real flags of a
@@ -136,6 +139,14 @@ run_config thread build-tsan
 step "cache stress (thread sanitizer, cache forced on)"
 XVM_CHECK_INVARIANTS=1 XVM_CONT_CACHE=1 \
   ctest --test-dir build-tsan -R 'StoreCacheStress|StoreCacheBytes|PersistTest.Fuzz' \
+        --output-on-failure -j "$JOBS"
+
+step "serving stress (thread sanitizer, concurrent readers vs maintenance)"
+# The snapshot-serving stress: ≥4 reader threads acquiring snapshots while
+# the coordinator applies a mixed stream, every observation replay-verified
+# bit-identical to a recompute at its generation.
+XVM_CHECK_INVARIANTS=1 \
+  ctest --test-dir build-tsan -R 'ServingStress|ViewSnapshotTest' \
         --output-on-failure -j "$JOBS"
 
 step "all checks passed"

@@ -89,10 +89,24 @@ void ViewMetrics::AddCounter(const std::string& counter, int64_t delta) {
   counters_[counter] += delta;
 }
 
+void ViewMetrics::SetGauge(const std::string& gauge, int64_t value) {
+  gauges_[gauge] = value;
+}
+
 void ViewMetrics::AppendJson(std::string* out) const {
   out->append("{\"counters\":{");
   bool first = true;
   for (const auto& [name, value] : counters_) {
+    if (!first) out->append(",");
+    first = false;
+    out->append("\"");
+    out->append(name);
+    out->append("\":");
+    out->append(std::to_string(value));
+  }
+  out->append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, value] : gauges_) {
     if (!first) out->append(",");
     first = false;
     out->append("\"");
@@ -123,6 +137,12 @@ void MetricsRegistry::AddCounter(const std::string& view,
                                  const std::string& counter, int64_t delta) {
   WriterMutexLock lock(mu_);
   views_[view].AddCounter(counter, delta);
+}
+
+void MetricsRegistry::SetGauge(const std::string& view,
+                               const std::string& gauge, int64_t value) {
+  WriterMutexLock lock(mu_);
+  views_[view].SetGauge(gauge, value);
 }
 
 std::map<std::string, ViewMetrics> MetricsRegistry::Snapshot() const {

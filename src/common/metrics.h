@@ -55,18 +55,24 @@ class ViewMetrics {
  public:
   void RecordPhase(const std::string& phase, double ms);
   void AddCounter(const std::string& counter, int64_t delta);
+  /// Gauges are last-write-wins point-in-time values (e.g. the published
+  /// snapshot generation or the worst staleness seen), as opposed to the
+  /// monotonically accumulating counters.
+  void SetGauge(const std::string& gauge, int64_t value);
 
   const std::map<std::string, LatencyHistogram>& phases() const {
     return phases_;
   }
   const std::map<std::string, int64_t>& counters() const { return counters_; }
+  const std::map<std::string, int64_t>& gauges() const { return gauges_; }
 
-  /// Appends {"counters":{...},"phases":{...}} to `out`.
+  /// Appends {"counters":{...},"gauges":{...},"phases":{...}} to `out`.
   void AppendJson(std::string* out) const;
 
  private:
   std::map<std::string, LatencyHistogram> phases_;
   std::map<std::string, int64_t> counters_;
+  std::map<std::string, int64_t> gauges_;
 };
 
 /// Thread-safe registry of per-view metrics, the coordinator's observability
@@ -80,6 +86,8 @@ class MetricsRegistry {
                    double ms) XVM_EXCLUDES(mu_);
   void AddCounter(const std::string& view, const std::string& counter,
                   int64_t delta) XVM_EXCLUDES(mu_);
+  void SetGauge(const std::string& view, const std::string& gauge,
+                int64_t value) XVM_EXCLUDES(mu_);
 
   /// Deep copy of the current state, safe to read without locks.
   std::map<std::string, ViewMetrics> Snapshot() const XVM_EXCLUDES(mu_);

@@ -45,7 +45,22 @@ std::string XmlEscape(std::string_view s) {
       case '>': out += "&gt;"; break;
       case '"': out += "&quot;"; break;
       case '\'': out += "&apos;"; break;
-      default: out.push_back(c);
+      default: {
+        // C0 control characters are not legal literally in XML 1.0; escape
+        // them as character references so serialized cont payloads survive
+        // a parse (the parser's DecodeEntity accepts &#x1;–&#x1F;). Tab, LF
+        // and CR are the literal-legal exceptions. NUL has no escaped form
+        // in any XML version (the parser rejects &#0;), so it is dropped.
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (u < 0x20 && c != '\t' && c != '\n' && c != '\r') {
+          if (u == 0) break;
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "&#x%X;", u);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+      }
     }
   }
   return out;

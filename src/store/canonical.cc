@@ -20,10 +20,11 @@ void StoreIndex::Build() {
   }
 }
 
-void StoreIndex::OnNodesAdded(const std::vector<NodeHandle>& added) {
+void StoreIndex::OnNodesAdded(const std::vector<NodeHandle>& added,
+                              bool allow_dead) {
   for (NodeHandle h : added) {
     const Node& n = doc_->node(h);
-    XVM_CHECK(n.alive);
+    XVM_CHECK(n.alive || allow_dead);
     auto& vec = relations_[n.label].nodes_;
     auto it = std::upper_bound(vec.begin(), vec.end(), h,
                                [this](NodeHandle a, NodeHandle b) {

@@ -44,10 +44,18 @@ class StoreIndex {
   /// (Re)builds all relations from the current document state.
   void Build();
 
-  /// Registers freshly inserted nodes (any labels, any order).
-  void OnNodesAdded(const std::vector<NodeHandle>& added);
+  /// Registers freshly inserted nodes (any labels, any order). Nodes must
+  /// be alive unless `allow_dead` — the deferred-maintenance roll-forward
+  /// (DeferredView::Flush) registers nodes a *later queued* statement has
+  /// already deleted from the document, so that earlier statements' R
+  /// relations match the store state as of their own step; the later
+  /// statement's OnNodesRemoved takes them out again before the flush ends.
+  void OnNodesAdded(const std::vector<NodeHandle>& added,
+                    bool allow_dead = false);
 
-  /// Unregisters deleted nodes.
+  /// Unregisters deleted nodes. Tolerates handles that were never added
+  /// (e.g. a candidate filtered before registration): absent handles are
+  /// skipped without touching any relation.
   void OnNodesRemoved(const std::vector<NodeHandle>& removed);
 
   /// The relation for `label`; an empty static relation if absent.

@@ -22,6 +22,20 @@ UpdateProfile UpdateProfile::FromObservedDeltas(
 
 namespace {
 
+/// A `*` pattern node matches nodes of every label; treating "*" as a
+/// literal label (absent from profiles and the label dictionary) silently
+/// made every wildcard term free *and* worthless — rate 0 killed
+/// FireProbability, cardinality 0 killed LeafEvalCost — so the chooser
+/// scored wildcard views as if updates never touched them. Wildcards
+/// instead estimate over all labels (TotalRate / TotalEntries).
+bool IsWildcardLabel(const std::string& label) { return label == "*"; }
+
+/// Expected Δ rows per statement for one pattern node under the profile.
+double NodeRate(const PatternNode& node, const UpdateProfile& profile) {
+  return IsWildcardLabel(node.label) ? profile.TotalRate()
+                                     : profile.RateOf(node.label);
+}
+
 /// Probability proxy that a term whose Δ-set is `delta_set` fires under the
 /// profile: the product over Δ-nodes of min(1, rate(label)) — a term needs
 /// *every* Δ table non-empty (Prop. 3.6).
@@ -30,7 +44,7 @@ double FireProbability(const TreePattern& pattern, const NodeSet& delta_set,
   double p = 1.0;
   for (size_t i = 0; i < delta_set.size(); ++i) {
     if (!delta_set[i]) continue;
-    p *= std::min(1.0, profile.RateOf(pattern.node(static_cast<int>(i)).label));
+    p *= std::min(1.0, NodeRate(pattern.node(static_cast<int>(i)), profile));
     if (p == 0.0) return 0.0;
   }
   return p;
@@ -38,14 +52,18 @@ double FireProbability(const TreePattern& pattern, const NodeSet& delta_set,
 
 /// Work proxy for evaluating the sub-pattern `nodes` from the leaves: the
 /// summed canonical-relation cardinalities (structural joins are linear in
-/// their inputs).
+/// their inputs). A wildcard leaf scans the union of all relations.
 double LeafEvalCost(const TreePattern& pattern, const StoreIndex& store,
                     const NodeSet& nodes) {
   double cost = 0;
   for (size_t i = 0; i < nodes.size(); ++i) {
     if (!nodes[i]) continue;
-    LabelId label =
-        store.doc().dict().Lookup(pattern.node(static_cast<int>(i)).label);
+    const PatternNode& n = pattern.node(static_cast<int>(i));
+    if (IsWildcardLabel(n.label)) {
+      cost += static_cast<double>(store.TotalEntries());
+      continue;
+    }
+    LabelId label = store.doc().dict().Lookup(n.label);
     if (label != kInvalidLabel) {
       cost += static_cast<double>(store.Relation(label).size());
     }
@@ -59,7 +77,7 @@ double DeltaEvalCost(const TreePattern& pattern, const NodeSet& delta_set,
   double cost = 0;
   for (size_t i = 0; i < delta_set.size(); ++i) {
     if (!delta_set[i]) continue;
-    cost += profile.RateOf(pattern.node(static_cast<int>(i)).label);
+    cost += NodeRate(pattern.node(static_cast<int>(i)), profile);
   }
   return cost;
 }

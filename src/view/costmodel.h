@@ -24,6 +24,17 @@ class UpdateProfile {
     return it == rates_.end() ? 0.0 : it->second;
   }
 
+  /// Sum of all per-label rates: the expected Δ rows per statement across
+  /// every label. This is the rate estimate for a wildcard pattern node —
+  /// `*` matches a node of *any* label, so its Δ table gains the union of
+  /// all labels' rows (an upper bound when several wildcard nodes share
+  /// rows, but never the silent 0 a literal "*" lookup returns).
+  double TotalRate() const {
+    double total = 0;
+    for (const auto& [label, rate] : rates_) total += rate;
+    return total;
+  }
+
   /// Builds a profile by observing a sample workload: each statement's
   /// Δ tables contribute their per-label row counts; rates are averages.
   static UpdateProfile FromObservedDeltas(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/file_io.h"
 #include "view/persist.h"
 
 namespace xvm {
@@ -62,17 +63,16 @@ void DeferredView::Flush() {
       fallback = stats.recompute_fallback;
     }
     // Roll the store forward regardless; later queue entries (and the
-    // fallback recompute) need it at the matching state. Nodes inserted by
-    // this statement but deleted again by a *later queued* statement are
-    // skipped: they can only ever appear on the Δ side of later terms (they
-    // are in that statement's Δ−), never as surviving R rows.
+    // fallback recompute) need it at the matching state. Register *every*
+    // node this statement inserted — including ones a later queued
+    // statement has already deleted from the document (allow_dead): a
+    // statement between the two must see them as R rows, exactly as the
+    // immediate mode would have, or its insert terms miss embeddings and
+    // the later delete's Δ−-only terms then over-remove. The deleting
+    // statement's own roll-forward takes them out again before the flush
+    // ends, so the relations are all-alive once the queue drains.
     store_->OnNodesRemoved(pending.deleted_nodes);
-    std::vector<NodeHandle> alive;
-    alive.reserve(pending.inserted_nodes.size());
-    for (NodeHandle h : pending.inserted_nodes) {
-      if (doc_->IsAlive(h)) alive.push_back(h);
-    }
-    store_->OnNodesAdded(alive);
+    store_->OnNodesAdded(pending.inserted_nodes, /*allow_dead=*/true);
   }
   if (fallback) {
     ScopedPhase phase(&timing_, phase::kExecuteUpdate);
@@ -80,9 +80,10 @@ void DeferredView::Flush() {
   }
 }
 
-const MaterializedView& DeferredView::Read() {
+ViewSnapshotPtr DeferredView::Read() {
   Flush();
-  return inner_.view();
+  last_snapshot_ = inner_.BuildSnapshot(seq_, last_snapshot_.get());
+  return last_snapshot_;
 }
 
 Status DeferredView::AttachWal(const std::string& path) {
@@ -96,9 +97,22 @@ Status DeferredView::AttachWal(const std::string& path) {
 Status DeferredView::Checkpoint(const std::string& view_path) {
   Flush();
   XVM_RETURN_IF_ERROR(SaveViewToFile(inner_, view_path));
+  // Commit-point gap for crash testing: the view is saved but the WAL still
+  // holds every statement. A crash here is fully recoverable — records
+  // replay onto the already-current view (detected via last_sequence()).
+  // After the truncation below succeeds, the WAL can no longer rebuild the
+  // document; the caller must own document durability (see deferred.h).
+  XVM_FAULT_POINT("deferred_checkpoint:before_wal_truncate");
   if (wal_ != nullptr && wal_->is_open()) {
     XVM_RETURN_IF_ERROR(wal_->Truncate());
   }
+  return Status::Ok();
+}
+
+Status DeferredView::LoadCheckpoint(const std::string& view_path) {
+  XVM_RETURN_IF_ERROR(LoadViewFromFile(view_path, &inner_));
+  queue_.clear();
+  last_snapshot_ = nullptr;
   return Status::Ok();
 }
 

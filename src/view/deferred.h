@@ -37,9 +37,12 @@ class DeferredView {
   /// store roll-forward.
   Status Apply(const UpdateStmt& stmt);
 
-  /// Consults the view: flushes the queue first. Returns the up-to-date
-  /// content.
-  const MaterializedView& Read();
+  /// Consults the view: flushes the queue first, then returns an immutable
+  /// snapshot of the up-to-date content stamped with last_sequence()
+  /// (view/snapshot.h). The snapshot is safe to keep and read after further
+  /// Apply()/Flush() calls — it never aliases mutable state. Consecutive
+  /// reads with no intervening change share one payload.
+  ViewSnapshotPtr Read();
 
   /// Propagates everything pending (Read() calls this implicitly).
   void Flush();
@@ -63,7 +66,27 @@ class DeferredView {
   /// is written before the truncation, so a crash in between only means
   /// some records get replayed onto an already-current view — which the
   /// owner detects via last_sequence().
+  ///
+  /// Durability contract — the caller owns document durability. This
+  /// checkpoint saves *only the view*; no document snapshot exists at this
+  /// layer, and the truncation discards the statements that produced the
+  /// current document. A crash after Truncate() therefore leaves nothing to
+  /// replay the document from: before calling Checkpoint(), the owner must
+  /// have durably stored a document snapshot at least as recent as
+  /// last_sequence() (e.g. SaveDocumentToBytes, view/persist.h), and
+  /// recovery must restore *that* document + a rebuilt store before
+  /// LoadCheckpoint(). Owners who want the document and views
+  /// checkpointed together under one commit point should use
+  /// ViewManager::Checkpoint instead. Fault point
+  /// "deferred_checkpoint:before_wal_truncate" sits between the view save
+  /// and the truncation for crash testing.
   Status Checkpoint(const std::string& view_path);
+
+  /// Restores view content saved by Checkpoint() in place of Initialize().
+  /// The document and store must already be rebuilt to the state the
+  /// checkpoint was taken at (see the Checkpoint() contract). Validates
+  /// name/pattern/schema against this view's definition.
+  Status LoadCheckpoint(const std::string& view_path);
 
   /// LSN of the last applied statement (0 before any).
   uint64_t last_sequence() const { return seq_; }
@@ -83,6 +106,7 @@ class DeferredView {
   PhaseTimer timing_;
   std::unique_ptr<WriteAheadLog> wal_;  // null until AttachWal
   uint64_t seq_ = 0;
+  ViewSnapshotPtr last_snapshot_;  // last Read() result, for payload reuse
 };
 
 }  // namespace xvm

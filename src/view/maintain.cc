@@ -145,6 +145,16 @@ void MaintainedView::RecomputeFromStore() {
   lattice_.Materialize(*store_);
 }
 
+ViewSnapshotPtr MaintainedView::BuildSnapshot(uint64_t generation,
+                                              const ViewSnapshot* prev) const {
+  if (prev != nullptr && prev->source_version() == view_.version()) {
+    return prev->Restamped(generation);
+  }
+  return std::make_shared<const ViewSnapshot>(def_.name(), view_.schema(),
+                                              view_.id_cols(), view_.Snapshot(),
+                                              generation, view_.version());
+}
+
 std::set<LabelId> MaintainedView::DeltaMinusValLabelIds() const {
   std::set<LabelId> out;
   for (const auto& name : def_.DeltaMinusValLabels()) {

@@ -14,6 +14,7 @@
 #include "update/update.h"
 #include "view/lattice.h"
 #include "view/outcome.h"
+#include "view/snapshot.h"
 #include "view/terms.h"
 #include "view/view_def.h"
 #include "view/view_store.h"
@@ -116,6 +117,14 @@ class MaintainedView {
   /// Rebuilds view + snowcaps from the (already updated) store. Used at
   /// Initialize() and by the predicate-guard fallback.
   void RecomputeFromStore();
+
+  /// Freezes the current view content into an immutable snapshot stamped at
+  /// `generation` (view/snapshot.h). When `prev` was built from the same
+  /// content version, its payload is shared — an O(1) re-stamp instead of an
+  /// O(|view|) copy — so publishing after a statement only pays for the
+  /// views the statement actually changed.
+  ViewSnapshotPtr BuildSnapshot(uint64_t generation,
+                                const ViewSnapshot* prev) const;
 
   /// Labels whose Δ− rows must capture string values for this view.
   std::set<LabelId> DeltaMinusValLabelIds() const;

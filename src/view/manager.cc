@@ -100,6 +100,7 @@ StatusOr<size_t> ViewManager::AddView(ViewDefinition def,
   XVM_RETURN_IF_ERROR(view->CheckPlans());
   views_.push_back(std::move(view));
   views_.back()->Initialize();
+  PublishSnapshots();
   return views_.size() - 1;
 }
 
@@ -110,6 +111,7 @@ StatusOr<size_t> ViewManager::AddView(ViewDefinition def,
   XVM_RETURN_IF_ERROR(view->CheckPlans());
   views_.push_back(std::move(view));
   views_.back()->Initialize();
+  PublishSnapshots();
   return views_.size() - 1;
 }
 
@@ -150,12 +152,22 @@ StatusOr<MultiUpdateOutcome> ViewManager::ApplyAndPropagateAll(
     }
     seq_ = lsn;
   }
+  // Readers acquiring a snapshot from here until the publish at the end of
+  // this call observe (and report) a staleness of one statement.
+  publisher_.BeginStatement(seq_);
 
   MultiUpdateOutcome out;
   out.per_view.resize(views_.size());
   out.workers = workers_;
 
-  XVM_ASSIGN_OR_RETURN(Pul pul, ComputePul(*doc_, stmt, &out.shared_timing));
+  StatusOr<Pul> pul_or = ComputePul(*doc_, stmt, &out.shared_timing);
+  if (!pul_or.ok()) {
+    // The statement consumed an LSN but had no effect; re-stamp the current
+    // snapshots at it so reader-visible staleness returns to zero.
+    PublishSnapshots();
+    return pul_or.status();
+  }
+  Pul pul = *std::move(pul_or);
 
   // Batched Δ extraction: once per statement, with the union of every
   // view's payload needs. Δ− must be read off the document *before* the PUL
@@ -222,8 +234,42 @@ StatusOr<MultiUpdateOutcome> ViewManager::ApplyAndPropagateAll(
   out.propagate_wall_ms = wall.ElapsedMs();
 
   MaybeAuditAfterStatement();
+  PublishSnapshots();
   RecordMetrics(out);
   return out;
+}
+
+void ViewManager::PublishSnapshots() {
+  WallTimer timer;
+  SnapshotSetPtr prev = publisher_.Peek();
+  auto next = std::make_shared<SnapshotSet>();
+  next->generation = seq_;
+  next->views.reserve(views_.size());
+  for (size_t i = 0; i < views_.size(); ++i) {
+    const ViewSnapshot* old =
+        i < prev->views.size() ? prev->views[i].get() : nullptr;
+    next->views.push_back(views_[i]->BuildSnapshot(seq_, old));
+  }
+  publisher_.Publish(std::move(next));
+  const double publish_ms = timer.ElapsedMs();
+
+  if (metrics_ == nullptr) return;
+  metrics_->RecordPhase(kServingMetricsView, "publish_snapshot", publish_ms);
+  const ServingStats now = publisher_.stats();
+  metrics_->AddCounter(
+      kServingMetricsView, "reads_served",
+      static_cast<int64_t>(now.reads - last_serving_stats_.reads));
+  metrics_->AddCounter(kServingMetricsView, "staleness_sum",
+                       static_cast<int64_t>(now.staleness_sum -
+                                            last_serving_stats_.staleness_sum));
+  metrics_->AddCounter(
+      kServingMetricsView, "publications",
+      static_cast<int64_t>(now.publications - last_serving_stats_.publications));
+  metrics_->SetGauge(kServingMetricsView, "snapshot_generation",
+                     static_cast<int64_t>(seq_));
+  metrics_->SetGauge(kServingMetricsView, "staleness_max",
+                     static_cast<int64_t>(now.staleness_max));
+  last_serving_stats_ = now;
 }
 
 Status ViewManager::EnableDurability(const std::string& dir) {
@@ -354,6 +400,10 @@ Status ViewManager::Recover(const std::string& dir) {
   seq_ = std::max(seq_, wal_->last_lsn());
   dur_dir_ = dir;
   recovered_ = true;
+  // Checkpoint-loaded content and skipped-replay statements bypass
+  // ApplyAndPropagateAll's per-statement publish; expose the recovered
+  // state to readers in one final swap.
+  PublishSnapshots();
   return Status::Ok();
 }
 

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/threadpool.h"
 #include "view/maintain.h"
+#include "view/snapshot.h"
 #include "view/wal.h"
 
 namespace xvm {
@@ -37,6 +38,12 @@ inline constexpr char kSharedMetricsView[] = "__shared__";
 /// monotonic totals.
 inline constexpr char kStoreMetricsView[] = "__store__";
 
+/// Pseudo-view name under which the coordinator reports the serving layer:
+/// counters reads_served / staleness_sum / publications (per-statement
+/// deltas of the publisher's monotonic totals), the publish_snapshot phase
+/// latency, and gauges snapshot_generation / staleness_max.
+inline constexpr char kServingMetricsView[] = "__serving__";
+
 /// Coordinates several materialized views over one document/store: the
 /// paper's "context where several views are materialized" (§3.5). A
 /// statement is located and applied to the document exactly once; the Δ
@@ -51,16 +58,25 @@ inline constexpr char kStoreMetricsView[] = "__store__";
 /// one. Tasks are dispatched in registration order by a work-stealing-free
 /// ThreadPool; workers == 1 runs inline with no pool at all.
 ///
-/// Lock discipline (common/thread_annotations.h): the manager itself is
-/// externally synchronized — exactly one coordinator thread calls its
-/// methods, so its members carry no capability annotations. The state that
-/// IS shared during a fan-out lives behind annotated internally-synchronized
-/// components: the ThreadPool's batch state (Mutex + CondVar), the
-/// MetricsRegistry (SharedMutex, writers exclusive / snapshot readers
-/// shared) and the store's ValContCache (16 per-stripe Mutex capabilities).
-/// Workers additionally write MultiUpdateOutcome::per_view, which is safe
-/// lock-free because each worker owns exactly its own index's slot and the
-/// coordinator reads only after ParallelFor's completion barrier.
+/// Lock discipline (common/thread_annotations.h): the manager's *write*
+/// path is externally synchronized — exactly one coordinator thread calls
+/// its mutating methods, so those members carry no capability annotations.
+/// The state that IS shared during a fan-out lives behind annotated
+/// internally-synchronized components: the ThreadPool's batch state (Mutex +
+/// CondVar), the MetricsRegistry (SharedMutex, writers exclusive / snapshot
+/// readers shared) and the store's ValContCache (16 per-stripe Mutex
+/// capabilities). Workers additionally write MultiUpdateOutcome::per_view,
+/// which is safe lock-free because each worker owns exactly its own index's
+/// slot and the coordinator reads only after ParallelFor's completion
+/// barrier.
+///
+/// The *read* path is different: Snapshot()/SnapshotAll()/serving_stats()
+/// are safe from any number of concurrent reader threads while the
+/// coordinator runs, because they only touch the internally-synchronized
+/// SnapshotPublisher (view/snapshot.h) — an RCU-style slot the coordinator
+/// swaps after every applied statement. A reader holds an immutable
+/// generation-stamped ViewSnapshot for as long as it likes; it never
+/// observes a partially-applied statement and never blocks maintenance.
 class ViewManager {
  public:
   ViewManager(Document* doc, StoreIndex* store) : doc_(doc), store_(store) {}
@@ -136,10 +152,28 @@ class ViewManager {
   /// LSN of the most recently applied (or replayed) statement; 0 initially.
   uint64_t last_sequence() const { return seq_; }
 
+  /// -- Snapshot-isolated serving (view/snapshot.h) --
+  ///
+  /// Current published snapshot of view `i` (registration index); nullptr
+  /// before the view was registered+published. Thread-safe: callable from
+  /// any reader thread concurrently with ApplyAndPropagateAll.
+  ViewSnapshotPtr Snapshot(size_t i) const { return publisher_.AcquireView(i); }
+
+  /// Cut-consistent snapshot across all views: every entry reflects the
+  /// same statement generation. Thread-safe like Snapshot().
+  SnapshotSetPtr SnapshotAll() const { return publisher_.Acquire(); }
+
+  /// Monotonic serving totals (reads, staleness, publications). Thread-safe.
+  ServingStats serving_stats() const { return publisher_.stats(); }
+
  private:
   /// Runs fn(0..n-1) over the views, on the pool when workers_ > 1.
   void RunPerView(const std::function<void(size_t)>& fn);
   void RecordMetrics(const MultiUpdateOutcome& out);
+  /// Builds the next snapshot generation (reusing the previous generation's
+  /// payloads for views whose content version is unchanged) and swaps it
+  /// into the publisher; records serving metrics when a registry is set.
+  void PublishSnapshots();
   /// Debug-mode invariant audit (common/invariant.h): when enabled, checks
   /// the storage layer and sampled view contents after each statement and
   /// aborts with diagnostics on any violation.
@@ -163,6 +197,13 @@ class ViewManager {
   /// Cache totals at the previous RecordMetrics, so each statement reports
   /// only its own delta.
   ValContCache::Stats last_cache_stats_;
+
+  /// The serving layer's RCU slot (internally synchronized — the one part
+  /// of the manager reader threads touch directly).
+  SnapshotPublisher publisher_;
+  /// Publisher totals at the previous PublishSnapshots, so each statement
+  /// reports only its own delta.
+  ServingStats last_serving_stats_;
 };
 
 }  // namespace xvm

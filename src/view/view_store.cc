@@ -35,6 +35,7 @@ void MaterializedView::AddDerivations(const Tuple& tuple, int64_t count) {
     it->second.count += count;
   }
   total_derivations_ += count;
+  ++version_;
 }
 
 bool MaterializedView::RemoveDerivationsByIdKey(const std::string& id_key,
@@ -44,6 +45,7 @@ bool MaterializedView::RemoveDerivationsByIdKey(const std::string& id_key,
   int64_t removed = std::min(count, it->second.count);
   it->second.count -= removed;
   total_derivations_ -= removed;
+  if (removed > 0) ++version_;
   if (it->second.count == 0) entries_.erase(it);
   return removed == count;
 }
@@ -65,6 +67,7 @@ size_t MaterializedView::ModifyTuples(
   for (auto& [key, entry] : entries_) {
     if (mutator(&entry.tuple)) ++modified;
   }
+  if (modified > 0) ++version_;
   return modified;
 }
 
@@ -84,12 +87,14 @@ std::vector<CountedTuple> MaterializedView::Snapshot() const {
 void MaterializedView::Reset(const std::vector<CountedTuple>& content) {
   entries_.clear();
   total_derivations_ = 0;
+  ++version_;
   for (const auto& ct : content) AddDerivations(ct.tuple, ct.count);
 }
 
 void MaterializedView::Clear() {
   entries_.clear();
   total_derivations_ = 0;
+  ++version_;
 }
 
 }  // namespace xvm

@@ -36,6 +36,13 @@ class MaterializedView {
   /// Sum of derivation counts.
   int64_t total_derivations() const { return total_derivations_; }
 
+  /// Mutation version: bumped by every call that actually changes content
+  /// (AddDerivations, an effective RemoveDerivationsByIdKey, ModifyTuples
+  /// with modifications, Reset, Clear). Two reads observing the same version
+  /// observed identical content — the serving layer uses this to re-stamp an
+  /// unchanged view's snapshot instead of rebuilding it.
+  uint64_t version() const { return version_; }
+
   /// Adds `count` derivations of `tuple` (inserting it if absent).
   void AddDerivations(const Tuple& tuple, int64_t count);
 
@@ -83,6 +90,7 @@ class MaterializedView {
   // AddDerivations can detect value collisions cheaply.
   std::unordered_map<std::string, Entry> entries_;
   int64_t total_derivations_ = 0;
+  uint64_t version_ = 0;
 };
 
 }  // namespace xvm

@@ -55,6 +55,13 @@ void SerializeRec(const Document& doc, NodeHandle h, std::string* out) {
 }  // namespace
 
 std::string SerializeSubtree(const Document& doc, NodeHandle h) {
+  // An attribute as the *root* of the serialized subtree has no start tag
+  // to be folded into, so its cont is its escaped value — the same rule a
+  // text node follows. (As a child, SerializeRec still folds it into the
+  // parent's start tag.) This keeps cont("@a") consistent with val("@a")
+  // up to escaping instead of the empty string.
+  const Node& n = doc.node(h);
+  if (n.kind == NodeKind::kAttribute) return XmlEscape(n.text);
   std::string out;
   SerializeRec(doc, h, &out);
   return out;

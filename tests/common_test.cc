@@ -158,6 +158,23 @@ TEST(StringsTest, XmlEscape) {
   EXPECT_EQ(XmlEscape("plain"), "plain");
 }
 
+TEST(StringsTest, XmlEscapeControlCharacters) {
+  // C0 controls become hex character references the parser can decode…
+  EXPECT_EQ(XmlEscape(std::string_view("\x01", 1)), "&#x1;");
+  EXPECT_EQ(XmlEscape(std::string_view("\x1F", 1)), "&#x1F;");
+  EXPECT_EQ(XmlEscape(std::string_view("a\x0B"
+                                       "b",
+                                       3)),
+            "a&#xB;b");
+  // …except tab/LF/CR, which are legal literally…
+  EXPECT_EQ(XmlEscape("a\tb\nc\rd"), "a\tb\nc\rd");
+  // …and NUL, which no XML version can represent (the parser rejects
+  // &#0;): it is dropped.
+  EXPECT_EQ(XmlEscape(std::string_view("a\0b", 3)), "ab");
+  // Bytes ≥ 0x20 (incl. multi-byte UTF-8) pass through untouched.
+  EXPECT_EQ(XmlEscape("caf\xC3\xA9"), "caf\xC3\xA9");
+}
+
 TEST(StringsTest, FormatDouble) {
   EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
   EXPECT_EQ(FormatDouble(2.0, 0), "2");

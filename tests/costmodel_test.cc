@@ -29,6 +29,102 @@ TEST(UpdateProfileTest, FromObservedDeltas) {
   EXPECT_DOUBLE_EQ(p.RateOf("never"), 0.0);
 }
 
+TEST(UpdateProfileTest, TotalRateSumsAllLabels) {
+  UpdateProfile p;
+  EXPECT_DOUBLE_EQ(p.TotalRate(), 0.0);
+  p.Set("a", 1.5);
+  p.Set("b", 0.5);
+  EXPECT_DOUBLE_EQ(p.TotalRate(), 2.0);
+}
+
+/// A `*` node matches every label, so its Δ rate is the profile's total
+/// and its leaf cardinality the store's total — not the 0 a literal "*"
+/// lookup yields. Decision-level check: with updates that only ever touch
+/// b nodes, the wildcard view //a{id}(//*{id}) must materialize the {a}
+/// snowcap (the t_R of the firing term R_a Δ_*), exactly like the
+/// label-spelled //a{id}(//b{id}) view does; the broken estimate scored
+/// every wildcard term as never firing and chose nothing.
+TEST(CostModelWildcardTest, WildcardViewChoosesSameSnowcapAsLabeledView) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 20; ++i) xml += "<a><b><c/></b><b/><b/></a>";
+  xml += "</r>";
+  Document doc;
+  ASSERT_TRUE(ParseDocument(xml, &doc).ok());
+  StoreIndex store(&doc);
+  store.Build();
+
+  // The DSL lexer has no '*', so the wildcard pattern is built
+  // programmatically.
+  TreePattern wild;
+  PatternNode root;
+  root.label = "a";
+  root.parent = -1;
+  root.store_id = true;
+  wild.AddNode(root);
+  PatternNode star;
+  star.label = "*";
+  star.name = "star";
+  star.parent = 0;
+  star.store_id = true;
+  wild.AddNode(star);
+
+  auto labeled_or = TreePattern::Parse("//a{id}(//b{id})");
+  ASSERT_TRUE(labeled_or.ok());
+  TreePattern labeled = std::move(labeled_or).value();
+
+  UpdateProfile profile;
+  profile.Set("b", 2.0);
+
+  auto labeled_choice = ChooseSnowcaps(labeled, store, profile, 8);
+  auto wild_choice = ChooseSnowcaps(wild, store, profile, 8);
+  ASSERT_EQ(labeled_choice.size(), 1u);
+  EXPECT_EQ(labeled_choice[0], Bits({0}, 2));
+  ASSERT_EQ(wild_choice.size(), 1u);
+  EXPECT_EQ(wild_choice[0], Bits({0}, 2));
+}
+
+/// Cardinality side: a wildcard in a snowcap's R-part contributes the sum
+/// of all relation sizes to the recompute cost it saves.
+TEST(CostModelWildcardTest, WildcardLeafCostUsesTotalEntries) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 10; ++i) xml += "<a><b><c/></b></a>";
+  xml += "</r>";
+  Document doc;
+  ASSERT_TRUE(ParseDocument(xml, &doc).ok());
+  StoreIndex store(&doc);
+  store.Build();
+
+  // //a{id}(//*(//c{id})): updates touch only c, so the one firing term's
+  // t_R is {a, *} and its saved work includes a full wildcard scan.
+  TreePattern pat;
+  PatternNode root;
+  root.label = "a";
+  root.parent = -1;
+  root.store_id = true;
+  pat.AddNode(root);
+  PatternNode star;
+  star.label = "*";
+  star.name = "star";
+  star.parent = 0;
+  pat.AddNode(star);
+  PatternNode c;
+  c.label = "c";
+  c.parent = 1;
+  c.store_id = true;
+  pat.AddNode(c);
+
+  UpdateProfile profile;
+  profile.Set("c", 2.0);
+  auto scores = ScoreSnowcaps(pat, store, profile);
+  const SnowcapScore* entry = nullptr;
+  for (const auto& s : scores) {
+    if (s.nodes == Bits({0, 1}, 3)) entry = &s;
+  }
+  ASSERT_NE(entry, nullptr);
+  // p = min(1, rate(c)) = 1; benefit ≥ |R_a| + Σ|R_l| > Σ|R_l| alone.
+  EXPECT_GE(entry->benefit, static_cast<double>(store.TotalEntries()));
+}
+
 class CostModelTest : public ::testing::Test {
  protected:
   void SetUp() override {

@@ -33,10 +33,10 @@ Fixture MakeXMarkFixture(const std::string& view_name, uint64_t seed = 29) {
 }
 
 void ExpectUpToDate(Fixture* f) {
-  const MaterializedView& got_view = f->view->Read();
+  ViewSnapshotPtr got_view = f->view->Read();
   const TreePattern& pat = f->view->def().pattern();
   auto truth = EvalViewWithCounts(pat, StoreLeafSource(f->store.get(), &pat));
-  auto got = got_view.Snapshot();
+  const auto& got = got_view->tuples();
   ASSERT_EQ(got.size(), truth.size());
   for (size_t i = 0; i < truth.size(); ++i) {
     EXPECT_EQ(got[i].tuple, truth[i].tuple);
@@ -82,8 +82,8 @@ TEST(DeferredViewTest, LaterUpdateBuildsOnEarlierOne) {
 
   ASSERT_TRUE(view.Apply(UpdateStmt::InsertForest("//a", "<b/>")).ok());
   ASSERT_TRUE(view.Apply(UpdateStmt::InsertForest("//a/b", "<c/>")).ok());
-  const MaterializedView& content = view.Read();
-  EXPECT_EQ(content.size(), 1u);  // the (a, new b, new c) embedding
+  ViewSnapshotPtr content = view.Read();
+  EXPECT_EQ(content->size(), 1u);  // the (a, new b, new c) embedding
 }
 
 TEST(DeferredViewTest, InterleavedReadsStayConsistent) {
@@ -97,6 +97,104 @@ TEST(DeferredViewTest, InterleavedReadsStayConsistent) {
   ASSERT_TRUE(f.view->Apply(MakeInsertStmt(*u1)).ok());
   ExpectUpToDate(&f);
   ExpectUpToDate(&f);  // idempotent when nothing is pending
+}
+
+/// Regression: a node inserted by statement j and deleted by a later queued
+/// statement k must still be registered in the store at step j's
+/// roll-forward. The old code filtered it out as dead-at-flush-time, so a
+/// statement between j and k whose term joined against it as an R row
+/// missed the embedding — and k's Δ−-only removal term then over-removed,
+/// deleting a tuple whose remaining derivation was still alive.
+TEST(DeferredViewTest, InsertThenDeleteWithinOneBatch) {
+  Document doc;
+  // A1 already has a full B0/C0 chain: the view tuple for A1 starts with
+  // one derivation that must survive the whole batch.
+  ASSERT_TRUE(ParseDocument("<r><a><b><c/></b></a></r>", &doc).ok());
+  StoreIndex store(&doc);
+  store.Build();
+  auto def = ViewDefinition::Create("v", "//a{id}(//b(//c))");
+  ASSERT_TRUE(def.ok());
+  DeferredView view(std::move(def).value(), &doc, &store,
+                    LatticeStrategy::kSnowcaps);
+  view.Initialize();
+
+  // j: insert B1 under A1; j+1: insert C1 under B1 (its term needs B1 as an
+  // R row); k: delete B1's subtree again.
+  ASSERT_TRUE(view.Apply(UpdateStmt::InsertForest("//a", "<b id=\"n\"/>")).ok());
+  ASSERT_TRUE(view.Apply(UpdateStmt::InsertForest("//a/b[@id]", "<c/>")).ok());
+  ASSERT_TRUE(view.Apply(UpdateStmt::Delete("//a/b[@id]")).ok());
+  EXPECT_EQ(view.pending(), 3u);
+
+  ViewSnapshotPtr got = view.Read();
+  const TreePattern& pat = view.def().pattern();
+  auto truth = EvalViewWithCounts(pat, StoreLeafSource(&store, &pat));
+  ASSERT_EQ(got->size(), truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(got->tuples()[i].tuple, truth[i].tuple);
+    EXPECT_EQ(got->tuples()[i].count, truth[i].count);
+  }
+  // The A1 tuple specifically must still be present with its base count.
+  ASSERT_EQ(truth.size(), 1u);
+  EXPECT_EQ(truth[0].count, 1);
+}
+
+/// Same skew with a reinsertion after the delete: the final content must
+/// match the immediate mode (one embedding through the reinserted chain
+/// plus the original one).
+TEST(DeferredViewTest, InsertDeleteReinsertWithinOneBatch) {
+  Document doc;
+  ASSERT_TRUE(ParseDocument("<r><a><b><c/></b></a></r>", &doc).ok());
+  StoreIndex store(&doc);
+  store.Build();
+  auto def = ViewDefinition::Create("v", "//a{id}(//b(//c))");
+  ASSERT_TRUE(def.ok());
+  DeferredView view(std::move(def).value(), &doc, &store,
+                    LatticeStrategy::kSnowcaps);
+  view.Initialize();
+
+  ASSERT_TRUE(view.Apply(UpdateStmt::InsertForest("//a", "<b id=\"n\"/>")).ok());
+  ASSERT_TRUE(view.Apply(UpdateStmt::InsertForest("//a/b[@id]", "<c/>")).ok());
+  ASSERT_TRUE(view.Apply(UpdateStmt::Delete("//a/b[@id]")).ok());
+  ASSERT_TRUE(view.Apply(UpdateStmt::InsertForest("//a", "<b><c/></b>")).ok());
+  EXPECT_EQ(view.pending(), 4u);
+
+  ViewSnapshotPtr got = view.Read();
+  const TreePattern& pat = view.def().pattern();
+  auto truth = EvalViewWithCounts(pat, StoreLeafSource(&store, &pat));
+  ASSERT_EQ(got->size(), truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(got->tuples()[i].tuple, truth[i].tuple);
+    EXPECT_EQ(got->tuples()[i].count, truth[i].count);
+  }
+  ASSERT_EQ(truth.size(), 1u);
+  EXPECT_EQ(truth[0].count, 2);  // original chain + reinserted chain
+}
+
+/// After a flush whose batch inserted-then-deleted nodes, the canonical
+/// relations must hold live nodes only (the transient dead registrations
+/// are taken out by the deleting statement's own roll-forward).
+TEST(DeferredViewTest, RelationsAllAliveAfterMixedBatchFlush) {
+  Document doc;
+  ASSERT_TRUE(ParseDocument("<r><a><b><c/></b></a></r>", &doc).ok());
+  StoreIndex store(&doc);
+  store.Build();
+  auto def = ViewDefinition::Create("v", "//a{id}(//b(//c))");
+  ASSERT_TRUE(def.ok());
+  DeferredView view(std::move(def).value(), &doc, &store,
+                    LatticeStrategy::kSnowcaps);
+  view.Initialize();
+  ASSERT_TRUE(view.Apply(UpdateStmt::InsertForest("//a", "<b id=\"n\"/>")).ok());
+  ASSERT_TRUE(view.Apply(UpdateStmt::InsertForest("//a/b[@id]", "<c/>")).ok());
+  ASSERT_TRUE(view.Apply(UpdateStmt::Delete("//a/b[@id]")).ok());
+  view.Flush();
+  for (const std::string& name : {std::string("a"), std::string("b"),
+                                  std::string("c")}) {
+    LabelId label = doc.dict().Lookup(name);
+    ASSERT_NE(label, kInvalidLabel);
+    for (NodeHandle h : store.Relation(label).nodes()) {
+      EXPECT_TRUE(doc.IsAlive(h)) << "dead node left in R_" << name;
+    }
+  }
 }
 
 TEST(DeferredViewTest, FallbackRecomputesAtFlush) {
@@ -114,10 +212,10 @@ TEST(DeferredViewTest, FallbackRecomputesAtFlush) {
   // the guard forces a recompute, deferred until the read.
   ASSERT_TRUE(view.Apply(UpdateStmt::Delete("//a/t")).ok());
   ASSERT_TRUE(view.Apply(UpdateStmt::InsertForest("//a", "<b/>")).ok());
-  const MaterializedView& content = view.Read();
+  ViewSnapshotPtr content = view.Read();
   const TreePattern& pat = view.def().pattern();
   auto truth = EvalViewWithCounts(pat, StoreLeafSource(&store, &pat));
-  EXPECT_EQ(content.Snapshot().size(), truth.size());
+  EXPECT_EQ(content->size(), truth.size());
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "common/file_io.h"
 #include "pattern/compile.h"
 #include "view/deferred.h"
+#include "view/persist.h"
 #include "xmark/generator.h"
 #include "xmark/updates.h"
 #include "xmark/views.h"
@@ -282,7 +283,7 @@ TEST(WalTest, DeferredViewWalReplayRebuildsQueue) {
     ASSERT_TRUE(live.view->Apply(MakeInsertStmt(*u)).ok());
   }
   EXPECT_EQ(live.view->last_sequence(), 2u);
-  auto expected = live.view->Read().Snapshot();
+  auto expected = live.view->Read()->tuples();
 
   // "Crash": the in-memory queue is gone; rebuild from the log.
   auto replayed = make(11);
@@ -292,7 +293,7 @@ TEST(WalTest, DeferredViewWalReplayRebuildsQueue) {
   for (const WalRecord& rec : *records) {
     ASSERT_TRUE(replayed.view->Apply(rec.stmt).ok());
   }
-  auto got = replayed.view->Read().Snapshot();
+  auto got = replayed.view->Read()->tuples();
   ASSERT_EQ(got.size(), expected.size());
   for (size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(got[i].tuple, expected[i].tuple);
@@ -329,6 +330,147 @@ TEST(WalTest, DeferredCheckpointSavesAndTruncates) {
   ASSERT_TRUE(records.ok());
   EXPECT_TRUE(records->empty());
   EXPECT_TRUE(FileExists(view_path));
+  std::remove(wal_path.c_str());
+  std::remove(view_path.c_str());
+}
+
+/// The deferred checkpoint's durability contract (view/deferred.h): the
+/// caller owns document durability. This test plays the owner exactly as
+/// documented — durably save a document snapshot before Checkpoint(), and
+/// on recovery restore that document, rebuild the store, LoadCheckpoint()
+/// the view and re-Apply every WAL record with an LSN above the
+/// checkpoint's. A fault injected at
+/// "deferred_checkpoint:before_wal_truncate" (view saved, WAL still full)
+/// must lose nothing: every record is ≤ the checkpoint sequence, so replay
+/// is empty and the loaded view already matches a recompute.
+TEST(WalTest, DeferredCheckpointFaultBeforeTruncateLosesNothing) {
+  const std::string wal_path = TempPath("wal_defer_fault.log");
+  const std::string view_path = TempPath("wal_defer_fault_view.ckpt");
+  std::remove(wal_path.c_str());
+  std::remove(view_path.c_str());
+
+  auto make = [](Document* doc, StoreIndex* store) {
+    auto def = XMarkView("Q1");
+    XVM_CHECK(def.ok());
+    auto view = std::make_unique<DeferredView>(std::move(def).value(), doc,
+                                               store, LatticeStrategy::kSnowcaps);
+    return view;
+  };
+
+  Document doc;
+  GenerateXMark(XMarkConfig{20 * 1024, 13}, &doc);
+  StoreIndex store(&doc);
+  store.Build();
+  auto view = make(&doc, &store);
+  view->Initialize();
+  ASSERT_TRUE(view->AttachWal(wal_path).ok());
+  for (const char* uname : {"X1_L", "X2_L"}) {
+    auto u = FindXMarkUpdate(uname);
+    ASSERT_TRUE(u.ok());
+    ASSERT_TRUE(view->Apply(MakeInsertStmt(*u)).ok());
+  }
+  const uint64_t ckpt_seq = view->last_sequence();
+
+  // The owner's half of the contract: the document is durable before the
+  // checkpoint may truncate the statements that produced it. Flush first so
+  // the saved bytes match the checkpointed (post-queue) state.
+  view->Flush();
+  const std::string doc_bytes = SaveDocumentToBytes(doc);
+
+  fault::Arm("deferred_checkpoint:before_wal_truncate", 1, fault::Mode::kError);
+  Status st = view->Checkpoint(view_path);
+  fault::Disarm();
+  EXPECT_FALSE(st.ok());  // the injected Internal error surfaced
+  EXPECT_TRUE(FileExists(view_path));
+
+  // "Crash": all in-memory state is gone. Recover per the contract.
+  auto records = WriteAheadLog::ReadLog(wal_path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);  // truncation never happened
+  Document rdoc;
+  ASSERT_TRUE(LoadDocumentFromBytes(doc_bytes, &rdoc).ok());
+  StoreIndex rstore(&rdoc);
+  rstore.Build();
+  auto recovered = make(&rdoc, &rstore);
+  ASSERT_TRUE(recovered->LoadCheckpoint(view_path).ok());
+  size_t replayed = 0;
+  for (const WalRecord& rec : *records) {
+    if (rec.lsn <= ckpt_seq) continue;  // already inside the checkpoint
+    ASSERT_TRUE(recovered->Apply(rec.stmt).ok());
+    ++replayed;
+  }
+  EXPECT_EQ(replayed, 0u);
+
+  ViewSnapshotPtr got = recovered->Read();
+  const TreePattern& pat = recovered->def().pattern();
+  auto truth = EvalViewWithCounts(pat, StoreLeafSource(&rstore, &pat));
+  ASSERT_EQ(got->size(), truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(got->tuples()[i].tuple, truth[i].tuple);
+    EXPECT_EQ(got->tuples()[i].count, truth[i].count);
+  }
+  std::remove(wal_path.c_str());
+  std::remove(view_path.c_str());
+}
+
+/// Happy-path owner recovery: statements applied *after* a successful
+/// checkpoint live only in the WAL; recovery restores the owner's document
+/// snapshot, loads the view checkpoint and replays exactly those records.
+TEST(WalTest, DeferredCheckpointOwnerRecoveryReplaysTail) {
+  const std::string wal_path = TempPath("wal_defer_tail.log");
+  const std::string view_path = TempPath("wal_defer_tail_view.ckpt");
+  std::remove(wal_path.c_str());
+  std::remove(view_path.c_str());
+
+  Document doc;
+  GenerateXMark(XMarkConfig{20 * 1024, 17}, &doc);
+  StoreIndex store(&doc);
+  store.Build();
+  auto def = XMarkView("Q1");
+  ASSERT_TRUE(def.ok());
+  DeferredView view(std::move(def).value(), &doc, &store,
+                    LatticeStrategy::kSnowcaps);
+  view.Initialize();
+  ASSERT_TRUE(view.AttachWal(wal_path).ok());
+  auto u = FindXMarkUpdate("X1_L");
+  ASSERT_TRUE(u.ok());
+  ASSERT_TRUE(view.Apply(MakeInsertStmt(*u)).ok());
+
+  // Owner: durable doc snapshot, then the view checkpoint (truncates WAL).
+  view.Flush();
+  const std::string doc_bytes = SaveDocumentToBytes(doc);
+  ASSERT_TRUE(view.Checkpoint(view_path).ok());
+  const uint64_t ckpt_seq = view.last_sequence();
+
+  // Post-checkpoint tail, present only in the WAL.
+  ASSERT_TRUE(view.Apply(MakeInsertStmt(*u)).ok());
+
+  // "Crash" + recovery per the contract.
+  Document rdoc;
+  ASSERT_TRUE(LoadDocumentFromBytes(doc_bytes, &rdoc).ok());
+  StoreIndex rstore(&rdoc);
+  rstore.Build();
+  auto rdef = XMarkView("Q1");
+  ASSERT_TRUE(rdef.ok());
+  DeferredView recovered(std::move(rdef).value(), &rdoc, &rstore,
+                         LatticeStrategy::kSnowcaps);
+  ASSERT_TRUE(recovered.LoadCheckpoint(view_path).ok());
+  auto records = WriteAheadLog::ReadLog(wal_path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  for (const WalRecord& rec : *records) {
+    ASSERT_GT(rec.lsn, ckpt_seq);
+    ASSERT_TRUE(recovered.Apply(rec.stmt).ok());
+  }
+
+  ViewSnapshotPtr got = recovered.Read();
+  const TreePattern& pat = recovered.def().pattern();
+  auto truth = EvalViewWithCounts(pat, StoreLeafSource(&rstore, &pat));
+  ASSERT_EQ(got->size(), truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(got->tuples()[i].tuple, truth[i].tuple);
+    EXPECT_EQ(got->tuples()[i].count, truth[i].count);
+  }
   std::remove(wal_path.c_str());
   std::remove(view_path.c_str());
 }
