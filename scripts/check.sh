@@ -128,6 +128,17 @@ step "planlint (static plan analysis over the example views)"
 build-asan/tools/planlint/planlint examples/views.lint
 ctest --test-dir build-asan -R 'planlint' --output-on-failure -j "$JOBS"
 
+step "deltalint (bounded-exhaustive delta-equivalence prover)"
+# The prover must prove every view of the positive corpus and refute every
+# hand-mutated rewrite of the negative one, byte-exactly against the
+# goldens (planlint_prove_* ctests), plus the meta-check that 100% of
+# compiler-emitted plans over the XMark/XPath corpus prove equivalent and
+# the reference evaluator agrees with the fused pipelines.
+build-asan/tools/planlint/planlint --prove-delta \
+    tools/planlint/testdata/prove_ok.lint
+ctest --test-dir build-asan -R 'planlint_prove|DeltaCheck|SymExec' \
+      --output-on-failure -j "$JOBS"
+
 step "crash matrix (address sanitizer, fault injection)"
 XVM_CHECK_INVARIANTS=1 \
   ctest --test-dir build-asan \

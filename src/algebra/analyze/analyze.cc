@@ -161,6 +161,13 @@ class Analyzer {
     }
     PlanFacts facts;
     facts.schema = node.leaf_schema;
+    if (facts.schema.empty()) {
+      // No compiler-emitted leaf is arity-0: canonical relations carry at
+      // least the node ID, Δ tables mirror them, literals bind a column.
+      // An empty schema upstream would make every derived fact vacuous
+      // (e.g. a union of arity-0 inputs "matches" trivially).
+      return Error(node, path, "leaf has empty schema");
+    }
     if (node.leaf_determined_by.size() != facts.schema.size() &&
         !node.leaf_determined_by.empty()) {
       return Error(node, path,

@@ -1,0 +1,123 @@
+#ifndef XVM_ALGEBRA_ANALYZE_DELTA_CHECK_H_
+#define XVM_ALGEBRA_ANALYZE_DELTA_CHECK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "view/view_def.h"
+
+namespace xvm {
+
+/// Bounded-exhaustive Δ-equivalence prover (DESIGN.md §"Symbolic
+/// Δ-equivalence"). The static analyzer (analyze.h) proves every Δ-rewrite
+/// plan *well-formed*; this module proves it *correct* on a finite model:
+/// it enumerates every tiny document up to a size bound, every update
+/// statement placement (insert / delete / replace at each position), and
+/// both lattice strategies (snowcaps materialized vs recomputed from
+/// leaves), executes the compiler-emitted union-term plans with the
+/// reference evaluator (symexec.h), applies them to the old view state
+/// exactly the way maintenance does — signed derivation counts, PIMT/PDMT
+/// payload rewrites, σ_alive over the deleted region — and demands the
+/// result be bit-identical (tuples and counts) to a full recompute on the
+/// post-update store. Failures carry a minimized counterexample.
+
+/// Enumeration bounds. The defaults are the "cheap" install-gate bounds;
+/// tests widen them for small patterns.
+struct DeltaCheckBounds {
+  /// Maximum spec nodes per enumerated document (text children realizing a
+  /// node's value are extra and do not count toward this bound).
+  int max_doc_nodes = 3;
+  /// Hard cap on (document, statement, strategy) instances; when hit, the
+  /// result reports truncated = true instead of silently passing.
+  size_t max_instances = 200000;
+};
+
+/// Deliberate single-site corruptions of the compiler-emitted term plans.
+/// Every mutation preserves structural well-formedness — the analyzer still
+/// accepts the mutated plan — so only semantic equivalence checking can
+/// reject it. This is the prover's negative test surface (planlint `mutate`
+/// directives, tests/delta_check_test.cc).
+enum class DeltaPlanMutation : uint8_t {
+  kNone = 0,
+  /// Remove the σ_alive predicate: deleted-region filtering is skipped, so
+  /// insert terms of a replace (and delete terms) see dead R bindings.
+  kDropAliveFilter,
+  /// Flip the first child-axis structural join to descendant.
+  kChildToDescendant,
+  /// Flip the first descendant-axis structural join to child.
+  kDescendantToChild,
+  /// Skip the first union term (smallest Δ-set) entirely.
+  kDropDeltaTerm,
+  /// Evaluate the first union term twice (derivation counts double).
+  kDuplicateDeltaTerm,
+  /// Read the first Δ leaf from the canonical relation R instead of the Δ
+  /// table — the classic "forgot to substitute Δ" rewrite bug.
+  kDeltaLeafFromStore,
+  /// Remove the first [val = c] selection from a term plan.
+  kDropValuePredicate,
+};
+
+/// Kebab-case name ("drop-alive", "child-to-descendant", ...).
+const char* DeltaPlanMutationName(DeltaPlanMutation m);
+/// Parses a kebab-case name; InvalidArgument listing the known names on
+/// mismatch. "none" is accepted.
+StatusOr<DeltaPlanMutation> ParseDeltaPlanMutation(const std::string& name);
+
+/// A minimized witness of inequivalence: the smallest enumerated document
+/// (after greedy shrinking) and statement on which the Δ-rewrite's result
+/// diverges from recompute, with the offending union term when one can be
+/// isolated.
+struct DeltaCounterexample {
+  std::string document_xml;  // serialized pre-update document
+  std::string statement;     // human-readable update statement
+  std::string strategy;      // "snowcaps" | "leaves"
+  std::string term;          // pass + Δ-set, e.g. "insert term Δ{b}"
+  std::string plan_excerpt;  // PlanToString of the offending term plan
+  std::string expected;      // recompute result (tuples + counts)
+  std::string actual;        // Δ-rewrite result
+
+  std::string ToString() const;
+};
+
+/// Outcome of a proof attempt.
+struct DeltaCheckResult {
+  bool equivalent = true;
+  size_t instances_checked = 0;
+  /// Instances on which the predicate guard fired (production falls back to
+  /// recomputation there, so equivalence holds by construction).
+  size_t instances_guarded = 0;
+  size_t terms_evaluated = 0;
+  bool truncated = false;
+  DeltaCounterexample counterexample;  // meaningful iff !equivalent
+
+  /// "proved (instances=..., guarded=..., terms=...)" or the rendered
+  /// counterexample.
+  std::string ToString() const;
+};
+
+/// Runs the bounded-exhaustive check for `def`'s Δ-rewrite plans, optionally
+/// under a deliberate plan mutation (kNone proves the real compiler output).
+/// Returns a non-OK Status only for infrastructure failures — an analyzer
+/// rejection of a compiler-emitted plan, a reference-evaluation error —
+/// never for inequivalence, which is reported through the result.
+StatusOr<DeltaCheckResult> ProveDeltaEquivalence(
+    const ViewDefinition& def, const DeltaCheckBounds& bounds,
+    DeltaPlanMutation mutation = DeltaPlanMutation::kNone);
+
+/// Whether the install-time gate runs (MaintainedView::CheckPlans). Off by
+/// default; the XVM_PROVE_DELTA environment variable ("0"/"" off, else on)
+/// or SetDeltaProving() turn it on.
+bool DeltaProvingEnabled();
+/// Overrides the gate at runtime; returns the previous effective value.
+bool SetDeltaProving(bool enabled);
+
+/// Install-time gate body: no-op unless DeltaProvingEnabled(). Proves with
+/// cheap bounds (shallower documents for larger patterns) and caches the
+/// verdict per plan fingerprint — a hash of the pattern's canonical DSL and
+/// the bounds — so repeated installs of the same definition don't re-prove.
+Status ProveDeltaForInstall(const ViewDefinition& def);
+
+}  // namespace xvm
+
+#endif  // XVM_ALGEBRA_ANALYZE_DELTA_CHECK_H_

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -241,6 +242,17 @@ FaultState& State() {
   return *state;
 }
 
+/// One-line rendering of the registry for the fail-loudly diagnostics.
+std::string RegistryListing() {
+  std::string out;
+  for (const std::string& p : RegisteredPoints()) {
+    out += "  ";
+    out += p;
+    out += "\n";
+  }
+  return out;
+}
+
 /// Environment arming, for out-of-process crash runs:
 ///   XVM_FAULT_POINT=<point>[:<countdown>[:error]]
 void MaybeArmFromEnv() {
@@ -270,6 +282,16 @@ void MaybeArmFromEnv() {
     }
   }
   if (countdown < 1) countdown = 1;
+  if (!IsRegisteredPoint(point)) {
+    // A typo'd XVM_FAULT_POINT would otherwise arm nothing: the fault run
+    // executes the happy path and the test passes without injecting
+    // anything. Die with a dedicated exit code instead.
+    std::fprintf(stderr,
+                 "XVM_FAULT_POINT names unknown fault point '%s'; "
+                 "registered points:\n%s",
+                 point.c_str(), RegistryListing().c_str());
+    ::_exit(kUnknownPointExitCode);
+  }
   s.armed = true;
   s.point = point;
   s.countdown = countdown;
@@ -278,7 +300,53 @@ void MaybeArmFromEnv() {
 
 }  // namespace
 
+const std::vector<std::string>& RegisteredPoints() {
+  // Every XVM_FAULT_POINT site compiled into the binary, sorted. Kept in
+  // sync by tests/common_test.cc (FaultRegistry.TraceNamesAreRegistered)
+  // and the crash-matrix trace, which only ever observe registered names.
+  static const std::vector<std::string>* points = new std::vector<std::string>{
+      "atomic_write:after_open",
+      "atomic_write:before_dir_fsync",
+      "atomic_write:before_fsync",
+      "atomic_write:before_rename",
+      "atomic_write:partial",
+      "checkpoint:before_manifest",
+      "checkpoint:before_wal_truncate",
+      "checkpoint:begin",
+      "deferred_checkpoint:before_wal_truncate",
+      "wal:append_before_fsync",
+      "wal:append_partial",
+      "wal:reset_before_fsync",
+      "wal:reset_before_truncate",
+  };
+  return *points;
+}
+
+bool IsRegisteredPoint(const std::string& point) {
+  for (const std::string& p : RegisteredPoints()) {
+    if (p == point) return true;
+  }
+  return false;
+}
+
+Status ArmChecked(const std::string& point, int countdown, Mode mode) {
+  if (!IsRegisteredPoint(point)) {
+    return Status::InvalidArgument("unknown fault point '" + point +
+                                   "'; registered points:\n" +
+                                   RegistryListing());
+  }
+  Arm(point, countdown, mode);
+  return Status::Ok();
+}
+
 void Arm(const std::string& point, int countdown, Mode mode) {
+  if (!IsRegisteredPoint(point)) {
+    std::fprintf(stderr,
+                 "fault::Arm: unknown fault point '%s'; registered "
+                 "points:\n%s",
+                 point.c_str(), RegistryListing().c_str());
+    ::_exit(kUnknownPointExitCode);
+  }
   FaultState& s = State();
   s.env_checked = true;  // programmatic arming overrides the environment
   s.armed = true;

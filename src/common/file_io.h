@@ -106,14 +106,37 @@ namespace fault {
 /// the environment for out-of-process runs:
 ///   XVM_FAULT_POINT=<point>[:<countdown>[:error]]
 /// where <countdown> (default 1) selects the N-th execution and a trailing
-/// ":error" selects Mode::kError instead of the default crash.
+/// ":error" selects Mode::kError instead of the default crash. A <point>
+/// that is not in RegisteredPoints() aborts with kUnknownPointExitCode
+/// after printing the registry — a typo'd name must not silently arm
+/// nothing and let the fault run pass.
 
 /// Exit code of a Mode::kCrash kill, distinguishable from test failures.
 inline constexpr int kCrashExitCode = 86;
 
+/// Exit code when XVM_FAULT_POINT names a point that is not in the registry
+/// (a typo'd name would otherwise arm nothing and the fault test would
+/// silently pass without injecting anything).
+inline constexpr int kUnknownPointExitCode = 78;
+
 enum class Mode { kCrash, kError };
 
+/// The registry of every fault point compiled into the binary, sorted.
+/// Arming validates against this list so a typo'd name fails loudly instead
+/// of silently never firing.
+const std::vector<std::string>& RegisteredPoints();
+
+/// True iff `point` is in RegisteredPoints().
+bool IsRegisteredPoint(const std::string& point);
+
 /// Arms `point`: its `countdown`-th execution from now triggers `mode`.
+/// InvalidArgument (listing the registry) when `point` is not registered.
+Status ArmChecked(const std::string& point, int countdown = 1,
+                  Mode mode = Mode::kCrash);
+
+/// Like ArmChecked but an unregistered `point` aborts the process with
+/// kUnknownPointExitCode after printing the registry — the right behavior
+/// for test harnesses where an unarmed fault run would silently pass.
 void Arm(const std::string& point, int countdown = 1, Mode mode = Mode::kCrash);
 
 /// Disarms any armed point and clears the environment configuration cache.

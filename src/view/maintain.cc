@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "algebra/analyze/delta_check.h"
 #include "common/invariant.h"
 #include "store/audit.h"
 #include "view/audit.h"
@@ -120,6 +121,9 @@ Status MaintainedView::CheckPlans() const {
   XVM_ASSIGN_OR_RETURN(ViewPlanReport report,
                        AnalyzeViewPlans(def_, snowcap_nodes));
   (void)report;
+  // Opt-in semantic gate (XVM_PROVE_DELTA): bounded-exhaustive proof that
+  // the Δ-rewrite plans equal recompute-diff, cached per plan fingerprint.
+  XVM_RETURN_IF_ERROR(ProveDeltaForInstall(def_));
   return Status::Ok();
 }
 

@@ -206,6 +206,48 @@ TEST(AnalyzeRejectTest, UnionOfIncompatibleSchemas) {
   ExpectRejected(MakeUnionAll(Leaf("a"), std::move(bad)), "union");
 }
 
+TEST(AnalyzeRejectTest, UnionOfArityZeroInputsRejected) {
+  // Arity-0 relations satisfy every per-column union check vacuously; the
+  // analyzer must reject them at the leaf instead of proving nothing.
+  PlanNodePtr plan = MakeUnionAll(
+      MakeLeaf(PlanLeafKind::kStoreScan, "R:empty", Schema(), {}, {}),
+      MakeLeaf(PlanLeafKind::kStoreScan, "R:empty", Schema(), {}, {}));
+  auto facts = AnalyzePlan(*plan);
+  ASSERT_FALSE(facts.ok());
+  EXPECT_EQ(facts.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(facts.status().message().find("empty schema"), std::string::npos)
+      << facts.status().message();
+  // The first rejected leaf is reached through the union's first input.
+  EXPECT_NE(facts.status().message().find("union[0]"), std::string::npos)
+      << facts.status().message();
+}
+
+TEST(AnalyzeAcceptTest, ProjectWithDuplicatedSourceColumns) {
+  // Projecting the same input column twice is legal (PIMT payload plans do
+  // this for self-referential bindings); dependencies must resolve to the
+  // *first* output occurrence and the sort prefix must survive.
+  auto facts = AnalyzePlan(*MakeProject(Leaf("a"), {0, 0, 1}));
+  ASSERT_TRUE(facts.ok()) << facts.status().message();
+  ASSERT_EQ(facts->schema.size(), 3u);
+  EXPECT_EQ(facts->schema.col(0).name, facts->schema.col(1).name);
+  EXPECT_TRUE(facts->SortedBy(0));
+  // Each copy of the self-determined ID stays self-determined (the copies
+  // are equal, so both are generators); the payload hangs off the first.
+  EXPECT_EQ(facts->determined_by[0], 0);
+  EXPECT_EQ(facts->determined_by[1], 1);
+  EXPECT_EQ(facts->determined_by[2], 0);
+}
+
+TEST(AnalyzeAcceptTest, DupElimOverAlreadyKeyedInput) {
+  // A contract leaf is already unique on its ID; dupelim over it must stay
+  // accepted and keep (not weaken) the key and duplicate-freedom facts.
+  auto facts = AnalyzePlan(*MakeDupElim(Leaf("a")));
+  ASSERT_TRUE(facts.ok()) << facts.status().message();
+  EXPECT_TRUE(facts->duplicate_free);
+  EXPECT_TRUE(facts->HasKeyWithin({0}));
+  EXPECT_TRUE(facts->SortedBy(0));
+}
+
 TEST(AnalyzeRejectTest, DiagnosticNamesThePathToTheOffender) {
   // Nest the broken project under two operators: the path must spell the
   // route from the root down to it.

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/file_io.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"
@@ -228,6 +232,49 @@ TEST(ScopedPhaseTest, RecordsElapsed) {
   EXPECT_EQ(t.phases().size(), 1u);
   // Null timer is tolerated.
   { ScopedPhase phase(nullptr, "ignored"); }
+}
+
+TEST(FaultRegistryTest, RegistryIsSortedAndQueriable) {
+  const std::vector<std::string>& points = fault::RegisteredPoints();
+  ASSERT_FALSE(points.empty());
+  EXPECT_TRUE(std::is_sorted(points.begin(), points.end()));
+  for (const std::string& p : points) {
+    EXPECT_TRUE(fault::IsRegisteredPoint(p)) << p;
+  }
+  EXPECT_FALSE(fault::IsRegisteredPoint("atomic_write:tpyo"));
+  EXPECT_FALSE(fault::IsRegisteredPoint(""));
+}
+
+TEST(FaultRegistryTest, ArmCheckedValidatesTheName) {
+  // A typo'd name is an InvalidArgument listing the registry, not a silent
+  // arm-nothing.
+  Status st = fault::ArmChecked("wal:append_partail");
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("unknown fault point"), std::string::npos);
+  EXPECT_NE(st.message().find("wal:append_partial"), std::string::npos);
+  // A registered name arms normally.
+  ASSERT_TRUE(fault::ArmChecked("wal:append_partial", 1000).ok());
+  fault::Disarm();
+}
+
+TEST(FaultRegistryDeathTest, ProgrammaticArmWithTypoDiesLoudly) {
+  EXPECT_EXIT(fault::Arm("checkpoint:begiin"),
+              ::testing::ExitedWithCode(fault::kUnknownPointExitCode),
+              "unknown fault point 'checkpoint:begiin'");
+}
+
+TEST(FaultRegistryDeathTest, EnvArmWithTypoDiesLoudly) {
+  // The environment path is consulted lazily by the first executed fault
+  // point; a typo'd XVM_FAULT_POINT must kill the process there instead of
+  // letting the fault run pass without injecting anything.
+  EXPECT_EXIT(
+      {
+        ::setenv("XVM_FAULT_POINT", "atomic_write:before_renmae", 1);
+        fault::ResetForTesting();
+        fault::HitAndShouldFail("checkpoint:begin");
+      },
+      ::testing::ExitedWithCode(fault::kUnknownPointExitCode),
+      "registered points");
 }
 
 }  // namespace

@@ -14,7 +14,10 @@ exit code 1 if any violation is found):
                    configuration.
   void-discard     Explicitly discarding a Status with `(void)` or
                    `static_cast<void>` is forbidden: handle the status or
-                   propagate it. A deliberate, justified discard must carry
+                   propagate it. Applies both to direct call discards
+                   (`(void)Foo();`) and to discards of variables declared
+                   Status/StatusOr (`Status st = Foo(); ... (void)st;`). A
+                   deliberate, justified discard must carry
                    `// NOLINT(xvm-status): <reason>` on the same line.
 
 The lint is textual by design: it has no compiler dependency, runs in
@@ -42,6 +45,20 @@ DECL_RE = re.compile(
 )
 
 CALL_HEAD_RE = re.compile(r"(?:\w+(?:::|\.|->))*(\w+)\s*\(")
+
+# Variables declared with an explicit Status/StatusOr type (`Status st = ...`,
+# `StatusOr<T> v;`, `Status st{...}`). The `(` initializer form is excluded on
+# purpose — textually it is indistinguishable from a function declaration.
+VAR_DECL_RE = re.compile(
+    r"\b(?:Status|StatusOr<[^;{}()=]*>)\s+(\w+)\s*(?:=|;|\{)"
+)
+# `auto st = Foo(...)` where Foo is a harvested Status-returning function.
+AUTO_DECL_RE = re.compile(
+    r"\bauto&?\s+(\w+)\s*=\s*(?:\w+(?:::|\.|->))*(\w+)\s*\("
+)
+VAR_DISCARD_RE = re.compile(
+    r"(?:\(\s*void\s*\)|static_cast\s*<\s*void\s*>\s*\()\s*(\w+)\s*\)?\s*;"
+)
 
 KEYWORDS_BEFORE_USE = {
     "return", "co_return", "co_await", "case", "goto", "new", "delete",
@@ -215,6 +232,34 @@ def sweep_file(path, code, raw_lines, status_fns, violations):
                 )
 
 
+def harvest_status_vars(code, status_fns):
+    """Names of variables in `code` declared with a Status/StatusOr type,
+    either explicitly or via `auto` from a Status-returning call."""
+    names = set()
+    for m in VAR_DECL_RE.finditer(code):
+        names.add(m.group(1))
+    for m in AUTO_DECL_RE.finditer(code):
+        if m.group(2) in status_fns:
+            names.add(m.group(1))
+    return names
+
+
+def sweep_var_discards(path, code, raw_lines, status_vars, violations):
+    for m in VAR_DISCARD_RE.finditer(code):
+        name = m.group(1)
+        if name not in status_vars:
+            continue
+        lineno = line_of(code, m.start())
+        raw_line = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+        if SUPPRESS in raw_line:
+            continue
+        violations.append(
+            (path, lineno, "void-discard",
+             f"'(void){name};' discards a Status/StatusOr variable; handle "
+             f"or propagate it (NOLINT(xvm-status) if truly deliberate)")
+        )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=".",
@@ -241,6 +286,8 @@ def main():
     check_nodiscard_decl(root, violations)
     for path, code in files_code.items():
         sweep_file(path, code, files_raw[path], status_fns, violations)
+        sweep_var_discards(path, code, files_raw[path],
+                           harvest_status_vars(code, status_fns), violations)
 
     for path, lineno, rule, msg in sorted(violations):
         rel = os.path.relpath(path, root)

@@ -1,8 +1,8 @@
-# Runs ${PLANLINT} over ${INPUT} and requires exit code ${EXPECTED_EXIT} and
-# stdout equal to the committed ${GOLDEN} file.
+# Runs ${PLANLINT} [${FLAGS}] over ${INPUT} and requires exit code
+# ${EXPECTED_EXIT} and stdout equal to the committed ${GOLDEN} file.
 
 execute_process(
-    COMMAND ${PLANLINT} ${INPUT}
+    COMMAND ${PLANLINT} ${FLAGS} ${INPUT}
     OUTPUT_VARIABLE actual
     ERROR_VARIABLE stderr
     RESULT_VARIABLE code)

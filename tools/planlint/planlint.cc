@@ -7,9 +7,18 @@
 // "Static plan analysis"). Accepted views print their inferred facts;
 // rejected views print the compile or analysis diagnostic.
 //
+// With --prove-delta the structural analysis is replaced by the bounded-
+// exhaustive Δ-equivalence prover (algebra/analyze/delta_check.h): each view
+// is proved equivalent to recompute-diff on every enumerated tiny instance,
+// and refutations print a minimized counterexample. A `mutate` directive
+// corrupts the next view's term plans with a named, deliberately-unsound
+// rewrite — the negative corpus that well-formedness checking alone accepts.
+//
 // Corpus format, one directive per line (# starts a comment):
 //   view NAME xpath id|idval|idcont XPATH-EXPRESSION
 //   view NAME pattern PATTERN-DSL
+//   mutate MUTATION-NAME            (--prove-delta only; applies to the
+//                                    next view directive)
 //
 // Exit codes: 0 every view accepted, 1 at least one view rejected,
 // 2 usage / unreadable file / malformed directive.
@@ -20,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "algebra/analyze/delta_check.h"
 #include "pattern/from_xpath.h"
 #include "view/lattice.h"
 #include "view/plan_check.h"
@@ -72,6 +82,34 @@ StatusOr<ViewDefinition> CompileDirective(const std::string& name,
                                  "' (want xpath|pattern)");
 }
 
+/// Proves one view directive Δ-equivalent (--prove-delta mode); returns
+/// true iff the proof succeeded.
+bool ProveView(const std::string& name, const std::string& kind,
+               const std::string& rest, DeltaPlanMutation mutation) {
+  auto def = CompileDirective(name, kind, rest);
+  if (!def.ok()) {
+    std::cout << "view " << name << ": REJECTED (compile)\n"
+              << Indent(def.status().message()) << "\n";
+    return false;
+  }
+  DeltaCheckBounds bounds;
+  bounds.max_doc_nodes = def->pattern().size() <= 3 ? 3 : 2;
+  auto result = ProveDeltaEquivalence(*def, bounds, mutation);
+  if (!result.ok()) {
+    std::cout << "view " << name << ": REJECTED (prove error)\n"
+              << Indent(result.status().message()) << "\n";
+    return false;
+  }
+  if (!result->equivalent) {
+    std::cout << "view " << name << ": REJECTED (delta-equivalence)\n"
+              << Indent(result->ToString()) << "\n";
+    return false;
+  }
+  std::cout << "view " << name << ": delta-equivalence PROVED\n"
+            << Indent(result->ToString()) << "\n";
+  return true;
+}
+
 /// Lints one view directive; returns true iff the view was accepted.
 bool LintView(const std::string& name, const std::string& kind,
               const std::string& rest) {
@@ -96,9 +134,10 @@ bool LintView(const std::string& name, const std::string& kind,
   return true;
 }
 
-int Run(const std::vector<std::string>& files) {
+int Run(const std::vector<std::string>& files, bool prove_delta) {
   size_t views = 0;
   size_t rejected = 0;
+  DeltaPlanMutation pending_mutation = DeltaPlanMutation::kNone;
   for (const std::string& path : files) {
     std::ifstream in(path);
     if (!in) {
@@ -112,6 +151,23 @@ int Run(const std::vector<std::string>& files) {
       std::istringstream tok(line);
       std::string word;
       if (!(tok >> word) || word[0] == '#') continue;
+      if (word == "mutate") {
+        std::string mname;
+        if (!prove_delta || !(tok >> mname)) {
+          std::cerr << "planlint: " << path << ":" << lineno
+                    << ": mutate directive requires --prove-delta and a "
+                       "mutation name\n";
+          return 2;
+        }
+        auto mutation = ParseDeltaPlanMutation(mname);
+        if (!mutation.ok()) {
+          std::cerr << "planlint: " << path << ":" << lineno << ": "
+                    << mutation.status().message() << "\n";
+          return 2;
+        }
+        pending_mutation = *mutation;
+        continue;
+      }
       std::string name, kind, rest;
       if (word != "view" || !(tok >> name >> kind)) {
         std::cerr << "planlint: " << path << ":" << lineno
@@ -122,7 +178,10 @@ int Run(const std::vector<std::string>& files) {
       std::getline(tok, rest);
       while (!rest.empty() && rest.front() == ' ') rest.erase(rest.begin());
       ++views;
-      if (!LintView(name, kind, rest)) ++rejected;
+      bool ok = prove_delta ? ProveView(name, kind, rest, pending_mutation)
+                            : LintView(name, kind, rest);
+      pending_mutation = DeltaPlanMutation::kNone;
+      if (!ok) ++rejected;
     }
   }
   std::cout << "planlint: " << views << " view(s), " << rejected
@@ -134,9 +193,19 @@ int Run(const std::vector<std::string>& files) {
 }  // namespace xvm
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: planlint <views-file>...\n";
+  bool prove_delta = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--prove-delta") {
+      prove_delta = true;
+    } else {
+      files.push_back(std::move(arg));
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "usage: planlint [--prove-delta] <views-file>...\n";
     return 2;
   }
-  return xvm::Run(std::vector<std::string>(argv + 1, argv + argc));
+  return xvm::Run(files, prove_delta);
 }
