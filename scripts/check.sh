@@ -63,7 +63,7 @@ configure() {
   cmake -B "$bdir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "$@" >/dev/null
 }
 
-step "lint (Status + lock discipline)"
+step "lint (Status + lock + execution-layering discipline)"
 # The textual lints ARE the gate for several invariants (dropped Status,
 # raw mutexes); a silently skipped lint leg would let violations through,
 # so a missing interpreter is a hard failure, not a skip.
@@ -74,6 +74,7 @@ fi
 python3 tools/lint_status.py --root "$ROOT"
 python3 tools/lint_locks.py --root "$ROOT"
 python3 tools/lint_locks_test.py
+python3 tools/lint_exec.py --root "$ROOT"
 
 step "clang-tidy"
 if [[ "${XVM_TIDY:-1}" == "0" ]]; then
@@ -127,6 +128,14 @@ step "planlint (static plan analysis over the example views)"
 # repeated here standalone so a plan regression is named explicitly).
 build-asan/tools/planlint/planlint examples/views.lint
 ctest --test-dir build-asan -R 'planlint' --output-on-failure -j "$JOBS"
+
+step "physical plans (kernel selection pinned byte-exactly)"
+# The lowered plans the executor runs: which sorts are statically elided,
+# which demote to adaptive check-then-sort, where scans fused. The golden
+# (planlint_physical ctest) pins kernel selection; the standalone run makes
+# a kernel-selection regression name itself in CI output.
+build-asan/tools/planlint/planlint --physical \
+    tools/planlint/testdata/physical.lint
 
 step "deltalint (bounded-exhaustive delta-equivalence prover)"
 # The prover must prove every view of the positive corpus and refute every

@@ -483,12 +483,10 @@ class Analyzer {
                          KindName(ca.kind) + ") vs '" + cb.name + "' (" +
                          KindName(cb.kind) + ")");
       }
-      if (ca.name != cb.name) {
-        return Error(node, path,
-                     "union of differently-named columns at position " +
-                         std::to_string(c) + ": '" + ca.name + "' vs '" +
-                         cb.name + "'");
-      }
+      // Names are NOT required to match: the Δ terms of one union rename
+      // columns freely ("R:person.ID" vs "delta:person.ID"). Kind equality
+      // (checked above) is the compatibility contract; the union's output
+      // keeps the first input's names, matching UnionAll.
     }
     PlanFacts out;
     out.schema = a.schema;

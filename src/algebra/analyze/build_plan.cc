@@ -41,9 +41,11 @@ PlanNodePtr BuildLeafPlan(const TreePattern& pattern, int node,
   if (want_val) schema.Add({n.name + ".val", ValueKind::kString});
   if (n.store_cont) schema.Add({n.name + ".cont", ValueKind::kString});
   const bool store = src == PlanLeafSourceKind::kStore;
-  return MakeContractLeaf(
+  PlanNodePtr leaf = MakeContractLeaf(
       store ? PlanLeafKind::kStoreScan : PlanLeafKind::kDeltaScan,
       (store ? "R:" : "delta:") + n.label, std::move(schema));
+  leaf->leaf_node = node;
+  return leaf;
 }
 
 PlanNodePtr BuildPatternSubtreePlan(const TreePattern& pattern, int root,
@@ -83,9 +85,12 @@ PlanNodePtr BuildPatternSubtreePlan(const TreePattern& pattern, int root,
     }
   }
 
-  // compile.cc enforces the leaf's document order here at runtime; the
-  // analyzer proves it instead, from the leaf contract and the
-  // order-preservation of select/project.
+  // The fused evaluator re-sorted every leaf pipeline defensively
+  // (check-then-sort on the ID column). The plan keeps that sort explicit;
+  // the lowering proves it redundant from the leaf contract and the
+  // order-preservation of select/project, demoting it to an
+  // XVM_CHECK_INVARIANTS-only audit.
+  cur = MakeSortBy(std::move(cur), {0});
 
   for (int c : n.children) {
     if (!Included(subset, c)) continue;

@@ -9,14 +9,16 @@
 
 namespace xvm {
 
-/// Builders that reconstruct, as explicit plan IR, exactly the operator
-/// pipelines the evaluators execute: EvalTreePattern / EvalPatternSubtree
-/// (pattern/compile.cc), EvalViewWithCounts, and the union-term evaluation
-/// of MaintainedView::EvaluateTerm (view/maintain.cc). Keeping the builders
-/// in lock-step with the evaluators is enforced by the meta-check: every
-/// plan the compiler emits must pass AnalyzePlan, and the analyzed schemas
-/// must equal the schemas the evaluators produce (see tests/analyze_test.cc
-/// and the fuzz suites).
+/// Builders that emit, as explicit plan IR, every operator pipeline the
+/// system executes: EvalTreePattern / EvalPatternSubtree / EvalViewWithCounts
+/// (pattern/compile.cc) and the union-term evaluation of
+/// MaintainedView::EvaluateTerm (view/maintain.cc). These plans are the
+/// single source of truth for execution: the evaluators above are thin
+/// wrappers that lower a built plan with algebra/exec/physical.h and run it
+/// through algebra/exec/exec.h, so a builder change *is* an execution
+/// change. The independent reference evaluator (algebra/analyze/symexec.h)
+/// and the Δ-equivalence prover cross-validate the executor on every
+/// compiler-emitted plan (tests/analyze_test.cc and the fuzz suites).
 
 /// Which table feeds each pattern-node leaf.
 enum class PlanLeafSourceKind : uint8_t {

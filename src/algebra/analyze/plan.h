@@ -79,6 +79,11 @@ struct PlanNode {
   std::vector<int> leaf_sort_prefix;    // lexicographic order declared
   std::vector<int> leaf_determined_by;  // per column: determining ID column
                                         // index, or -1 (unknown)
+  // Pattern-node index behind a kStoreScan / kDeltaScan leaf, or -1 when
+  // the leaf is not pattern-derived (snowcaps, literals). The physical
+  // executor resolves such leaves through a LeafSource(node_idx) callback;
+  // name-based resolvers (delta_check) ignore it.
+  int leaf_node = -1;
 
   // kSelect
   std::vector<PlanPredicate> predicates;

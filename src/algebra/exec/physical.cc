@@ -1,0 +1,464 @@
+#include "algebra/exec/physical.h"
+
+#include <utility>
+
+#include "algebra/analyze/analyze.h"
+#include "common/status.h"
+
+namespace xvm {
+
+namespace {
+
+std::string JoinInts(const std::vector<int>& v) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+/// Facts the lowering pass tracks bottom-up. Unlike the analyzer's
+/// PlanFacts, sort_prefix here is the order that provably holds *at
+/// runtime*: snowcap leaves contribute their declared order only under
+/// LowerOptions.trust_snowcap_order (see the header).
+struct RtFacts {
+  Schema schema;
+  std::vector<int> sort_prefix;
+  std::vector<int> determined_by;
+  bool saw_snowcap = false;  // subtree reads a materialized snowcap
+};
+
+/// True iff rows sorted by `f.sort_prefix` are necessarily sorted by
+/// `keys`: each key either consumes the next sort-prefix column, or is
+/// functionally determined by an earlier key (constant within ties).
+bool OrderCoversKeys(const RtFacts& f, const std::vector<int>& keys) {
+  size_t j = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (j < f.sort_prefix.size() && f.sort_prefix[j] == keys[i]) {
+      ++j;
+      continue;
+    }
+    const int d = f.determined_by[static_cast<size_t>(keys[i])];
+    bool tied = false;
+    for (size_t p = 0; d >= 0 && p < i && !tied; ++p) tied = keys[p] == d;
+    if (!tied) return false;
+  }
+  return true;
+}
+
+/// True iff grouping rows adjacent on the runtime sort prefix yields groups
+/// in full-tuple order with full-tuple-equal members — the soundness
+/// condition of the sorted DupElim kernel. Walking the columns in position
+/// order, every column must either be the next sort-prefix column or be
+/// determined by an already-consumed one (so ties on the prefix imply
+/// full-tuple equality, and the first differing column between two groups
+/// is always a prefix column).
+bool GroupOrderIsTupleOrder(const RtFacts& f) {
+  const std::vector<int>& sp = f.sort_prefix;
+  size_t j = 0;
+  for (size_t pos = 0; pos < f.schema.size(); ++pos) {
+    if (j < sp.size() && sp[j] == static_cast<int>(pos)) {
+      ++j;
+      continue;
+    }
+    const int d = f.determined_by[pos];
+    bool ok = false;
+    for (size_t p = 0; d >= 0 && p < j && !ok; ++p) ok = sp[p] == d;
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string ColNames(const Schema& schema, const std::vector<int>& cols) {
+  std::string out = "[";
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (i > 0) out += " ";
+    out += schema.col(static_cast<size_t>(cols[i])).name;
+  }
+  return out + "]";
+}
+
+struct Lowered {
+  int idx = -1;
+  RtFacts facts;
+};
+
+class Lowerer {
+ public:
+  explicit Lowerer(const LowerOptions& opts) : opts_(opts) {}
+
+  StatusOr<Lowered> Lower(const PlanNode& node) {
+    switch (node.op) {
+      case PlanOp::kLeaf: return LowerLeaf(node);
+      case PlanOp::kSelect: return LowerSelect(node);
+      case PlanOp::kProject: return LowerProject(node);
+      case PlanOp::kSortBy: return LowerSortBy(node);
+      case PlanOp::kDupElim: return LowerDupElim(node);
+      case PlanOp::kProduct: return LowerConcat(node, PhysKernel::kProduct);
+      case PlanOp::kHashJoin: return LowerConcat(node, PhysKernel::kHashJoin);
+      case PlanOp::kStructJoin:
+        return LowerConcat(node, PhysKernel::kStructJoin);
+      case PlanOp::kUnionAll: return LowerUnion(node);
+    }
+    return Status::Internal("lowering: unknown operator");
+  }
+
+  PhysicalPlan TakePlan() && { return std::move(plan_); }
+
+ private:
+  int Append(PhysNode phys) {
+    plan_.nodes.push_back(std::move(phys));
+    return static_cast<int>(plan_.nodes.size()) - 1;
+  }
+
+  StatusOr<Lowered> LowerLeaf(const PlanNode& node) {
+    Lowered out;
+    out.facts.schema = node.leaf_schema;
+    out.facts.determined_by = node.leaf_determined_by;
+    if (out.facts.determined_by.empty()) {
+      out.facts.determined_by.assign(node.leaf_schema.size(), -1);
+    }
+    PhysNode phys;
+    phys.leaf_kind = node.leaf_kind;
+    phys.leaf_name = node.leaf_name;
+    phys.leaf_schema = node.leaf_schema;
+    phys.leaf_sort_prefix = node.leaf_sort_prefix;
+    phys.leaf_node = node.leaf_node;
+    phys.schema = node.leaf_schema;
+    if (node.leaf_kind == PlanLeafKind::kSnowcap) {
+      phys.kernel = PhysKernel::kSnowcapScan;
+      out.facts.saw_snowcap = true;
+      if (opts_.trust_snowcap_order) {
+        out.facts.sort_prefix = node.leaf_sort_prefix;
+      } else {
+        phys.note = "declared order " +
+                    ColNames(node.leaf_schema, node.leaf_sort_prefix) +
+                    " not trusted at runtime (maintenance appends)";
+      }
+    } else {
+      phys.kernel = PhysKernel::kScan;
+      out.facts.sort_prefix = node.leaf_sort_prefix;
+    }
+    out.idx = Append(std::move(phys));
+    return out;
+  }
+
+  StatusOr<Lowered> LowerSelect(const PlanNode& node) {
+    XVM_ASSIGN_OR_RETURN(Lowered in, Lower(*node.inputs[0]));
+    // Fuse into a scan that has not projected yet (the predicates then
+    // index the unchanged leaf schema).
+    PhysNode& child = plan_.nodes[static_cast<size_t>(in.idx)];
+    if (child.kernel == PhysKernel::kScan && child.cols.empty()) {
+      if (child.predicates.empty()) ++plan_.scans_fused;
+      child.predicates.insert(child.predicates.end(), node.predicates.begin(),
+                              node.predicates.end());
+      return in;  // selection preserves facts
+    }
+    PhysNode phys;
+    phys.kernel = PhysKernel::kSelect;
+    phys.inputs = {in.idx};
+    phys.predicates = node.predicates;
+    phys.schema = in.facts.schema;
+    Lowered out;
+    out.facts = std::move(in.facts);
+    out.idx = Append(std::move(phys));
+    return out;
+  }
+
+  static RtFacts ProjectFacts(const RtFacts& in, const std::vector<int>& cols) {
+    RtFacts out;
+    out.saw_snowcap = in.saw_snowcap;
+    std::vector<int> first_pos(in.schema.size(), -1);
+    for (int c : cols) {
+      if (first_pos[static_cast<size_t>(c)] < 0) {
+        first_pos[static_cast<size_t>(c)] = static_cast<int>(out.schema.size());
+      }
+      out.schema.Add(in.schema.col(static_cast<size_t>(c)));
+    }
+    out.determined_by.assign(out.schema.size(), -1);
+    for (size_t j = 0; j < cols.size(); ++j) {
+      const int c = cols[j];
+      const int d = in.determined_by[static_cast<size_t>(c)];
+      if (d < 0) continue;
+      if (d == c) {
+        out.determined_by[j] = static_cast<int>(j);
+      } else if (first_pos[static_cast<size_t>(d)] >= 0) {
+        out.determined_by[j] = first_pos[static_cast<size_t>(d)];
+      }
+    }
+    for (int c : in.sort_prefix) {
+      const int p = first_pos[static_cast<size_t>(c)];
+      if (p < 0) break;
+      out.sort_prefix.push_back(p);
+    }
+    return out;
+  }
+
+  StatusOr<Lowered> LowerProject(const PlanNode& node) {
+    XVM_ASSIGN_OR_RETURN(Lowered in, Lower(*node.inputs[0]));
+    PhysNode& child = plan_.nodes[static_cast<size_t>(in.idx)];
+    if (child.kernel == PhysKernel::kScan) {
+      if (child.cols.empty() && child.predicates.empty()) ++plan_.scans_fused;
+      if (child.cols.empty()) {
+        child.cols = node.cols;
+      } else {
+        std::vector<int> composed;
+        composed.reserve(node.cols.size());
+        for (int c : node.cols) {
+          composed.push_back(child.cols[static_cast<size_t>(c)]);
+        }
+        child.cols = std::move(composed);
+      }
+      Lowered out;
+      out.facts = ProjectFacts(in.facts, node.cols);
+      child.schema = out.facts.schema;
+      out.idx = in.idx;
+      return out;
+    }
+    Lowered out;
+    out.facts = ProjectFacts(in.facts, node.cols);
+    PhysNode phys;
+    phys.kernel = PhysKernel::kProject;
+    phys.inputs = {in.idx};
+    phys.cols = node.cols;
+    phys.schema = out.facts.schema;
+    out.idx = Append(std::move(phys));
+    return out;
+  }
+
+  StatusOr<Lowered> LowerSortBy(const PlanNode& node) {
+    XVM_ASSIGN_OR_RETURN(Lowered in, Lower(*node.inputs[0]));
+    PhysNode phys;
+    phys.inputs = {in.idx};
+    phys.cols = node.cols;
+    phys.schema = in.facts.schema;
+    Lowered out;
+    if (OrderCoversKeys(in.facts, node.cols)) {
+      phys.kernel = PhysKernel::kSortElided;
+      phys.note = "elided: input order " +
+                  ColNames(in.facts.schema, in.facts.sort_prefix) +
+                  " covers the keys";
+      ++plan_.sorts_elided_static;
+      out.facts = std::move(in.facts);  // pass-through keeps the stronger order
+    } else {
+      phys.kernel = PhysKernel::kSortAdaptive;
+      phys.note = in.facts.saw_snowcap
+                      ? "check-then-sort: snowcap order not trusted at runtime"
+                      : "check-then-sort: input order unproven";
+      out.facts = std::move(in.facts);
+      out.facts.sort_prefix = node.cols;
+    }
+    out.idx = Append(std::move(phys));
+    return out;
+  }
+
+  StatusOr<Lowered> LowerDupElim(const PlanNode& node) {
+    XVM_ASSIGN_OR_RETURN(Lowered in, Lower(*node.inputs[0]));
+    PhysNode phys;
+    phys.inputs = {in.idx};
+    phys.schema = in.facts.schema;
+    if (GroupOrderIsTupleOrder(in.facts)) {
+      phys.kernel = PhysKernel::kDupElimSorted;
+      phys.note = "sorted input " +
+                  ColNames(in.facts.schema, in.facts.sort_prefix) +
+                  ": adjacent grouping";
+    } else {
+      phys.kernel = PhysKernel::kDupElimHash;
+      phys.note = "hash grouping: input order does not determine tuple order";
+    }
+    Lowered out;
+    out.facts.schema = in.facts.schema;
+    out.facts.saw_snowcap = in.facts.saw_snowcap;
+    out.facts.determined_by = in.facts.determined_by;
+    // Output is sorted by the full tuple.
+    for (size_t c = 0; c < in.facts.schema.size(); ++c) {
+      out.facts.sort_prefix.push_back(static_cast<int>(c));
+    }
+    out.idx = Append(std::move(phys));
+    return out;
+  }
+
+  static void ConcatRt(const RtFacts& l, const RtFacts& r, RtFacts* out) {
+    out->schema = Schema::Concat(l.schema, r.schema);
+    const int lw = static_cast<int>(l.schema.size());
+    out->determined_by = l.determined_by;
+    for (int d : r.determined_by) {
+      out->determined_by.push_back(d < 0 ? -1 : d + lw);
+    }
+    out->saw_snowcap = l.saw_snowcap || r.saw_snowcap;
+  }
+
+  StatusOr<Lowered> LowerConcat(const PlanNode& node, PhysKernel kernel) {
+    XVM_ASSIGN_OR_RETURN(Lowered l, Lower(*node.inputs[0]));
+    XVM_ASSIGN_OR_RETURN(Lowered r, Lower(*node.inputs[1]));
+    Lowered out;
+    ConcatRt(l.facts, r.facts, &out.facts);
+    const int lw = static_cast<int>(l.facts.schema.size());
+    PhysNode phys;
+    phys.kernel = kernel;
+    phys.inputs = {l.idx, r.idx};
+    phys.schema = out.facts.schema;
+    switch (kernel) {
+      case PhysKernel::kProduct:
+        out.facts.sort_prefix = l.facts.sort_prefix;  // left-major
+        break;
+      case PhysKernel::kHashJoin:
+        phys.left_cols = node.left_cols;
+        phys.right_cols = node.right_cols;
+        // Probe order survives, shifted past the build columns.
+        for (int c : r.facts.sort_prefix) {
+          out.facts.sort_prefix.push_back(c + lw);
+        }
+        break;
+      case PhysKernel::kStructJoin: {
+        phys.outer_col = node.outer_col;
+        phys.inner_col = node.inner_col;
+        phys.axis = node.axis;
+        // The merge-based kernel silently mis-evaluates on unsorted input;
+        // the analyzer proved the logical order, but lowering re-proves it
+        // against the weaker *runtime* facts (snowcap contracts excluded).
+        if (l.facts.sort_prefix.empty() ||
+            l.facts.sort_prefix[0] != node.outer_col) {
+          return Status::Internal(
+              "lowering: structural-join outer order not runtime-provable "
+              "(column " +
+              std::to_string(node.outer_col) + ")");
+        }
+        if (r.facts.sort_prefix.empty() ||
+            r.facts.sort_prefix[0] != node.inner_col) {
+          return Status::Internal(
+              "lowering: structural-join inner order not runtime-provable "
+              "(column " +
+              std::to_string(node.inner_col) + ")");
+        }
+        out.facts.sort_prefix = {node.inner_col + lw};
+        break;
+      }
+      default:
+        return Status::Internal("lowering: bad concat kernel");
+    }
+    out.idx = Append(std::move(phys));
+    return out;
+  }
+
+  StatusOr<Lowered> LowerUnion(const PlanNode& node) {
+    XVM_ASSIGN_OR_RETURN(Lowered l, Lower(*node.inputs[0]));
+    XVM_ASSIGN_OR_RETURN(Lowered r, Lower(*node.inputs[1]));
+    Lowered out;
+    out.facts.schema = l.facts.schema;
+    out.facts.determined_by.assign(out.facts.schema.size(), -1);
+    out.facts.saw_snowcap = l.facts.saw_snowcap || r.facts.saw_snowcap;
+    PhysNode phys;
+    phys.kernel = PhysKernel::kUnionAll;
+    phys.inputs = {l.idx, r.idx};
+    phys.schema = out.facts.schema;
+    out.idx = Append(std::move(phys));
+    return out;
+  }
+
+  LowerOptions opts_;
+  PhysicalPlan plan_;
+};
+
+void RenderRec(const PhysicalPlan& plan, int idx, int depth,
+               std::string* out) {
+  const PhysNode& n = plan.nodes[static_cast<size_t>(idx)];
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(n.Describe());
+  if (n.kernel == PhysKernel::kScan || n.kernel == PhysKernel::kSnowcapScan) {
+    out->append(" :: " + n.leaf_schema.ToString());
+  }
+  if (!n.note.empty()) out->append("  // " + n.note);
+  out->append("\n");
+  for (int in : n.inputs) RenderRec(plan, in, depth + 1, out);
+}
+
+}  // namespace
+
+const char* PhysKernelName(PhysKernel k) {
+  switch (k) {
+    case PhysKernel::kScan: return "scan";
+    case PhysKernel::kSnowcapScan: return "snowcap_scan";
+    case PhysKernel::kSelect: return "select";
+    case PhysKernel::kProject: return "project";
+    case PhysKernel::kSortElided: return "sort_elided";
+    case PhysKernel::kSortAdaptive: return "sort_adaptive";
+    case PhysKernel::kDupElimSorted: return "dupelim_sorted";
+    case PhysKernel::kDupElimHash: return "dupelim_hash";
+    case PhysKernel::kProduct: return "product";
+    case PhysKernel::kHashJoin: return "hjoin";
+    case PhysKernel::kStructJoin: return "sjoin";
+    case PhysKernel::kUnionAll: return "union";
+  }
+  return "?";
+}
+
+std::string PhysNode::Describe() const {
+  switch (kernel) {
+    case PhysKernel::kScan:
+    case PhysKernel::kSnowcapScan: {
+      std::string out = std::string(PhysKernelName(kernel)) + "(" + leaf_name;
+      if (leaf_node >= 0) out += ", node " + std::to_string(leaf_node);
+      out += ")";
+      for (const PlanPredicate& p : predicates) {
+        out += " σ[" + p.ToString() + "]";
+      }
+      if (!cols.empty()) out += " π[" + JoinInts(cols) + "]";
+      return out;
+    }
+    case PhysKernel::kSelect: {
+      std::string out = "select[";
+      for (size_t i = 0; i < predicates.size(); ++i) {
+        if (i > 0) out += " && ";
+        out += predicates[i].ToString();
+      }
+      return out + "]";
+    }
+    case PhysKernel::kProject:
+      return "project[" + JoinInts(cols) + "]";
+    case PhysKernel::kSortElided:
+      return "sort-elided[" + JoinInts(cols) + "]";
+    case PhysKernel::kSortAdaptive:
+      return "sort-adaptive[" + JoinInts(cols) + "]";
+    case PhysKernel::kDupElimSorted:
+      return "dupelim-sorted";
+    case PhysKernel::kDupElimHash:
+      return "dupelim-hash";
+    case PhysKernel::kProduct:
+      return "product";
+    case PhysKernel::kHashJoin:
+      return "hjoin[" + JoinInts(left_cols) + "=" + JoinInts(right_cols) + "]";
+    case PhysKernel::kStructJoin:
+      return std::string("sjoin[") +
+             (axis == Axis::kChild ? "child" : "desc") + " outer." +
+             std::to_string(outer_col) + " inner." + std::to_string(inner_col) +
+             "]";
+    case PhysKernel::kUnionAll:
+      return "union";
+  }
+  return "?";
+}
+
+std::string PhysicalPlan::ToString() const {
+  std::string out;
+  if (!nodes.empty()) RenderRec(*this, root(), 0, &out);
+  return out;
+}
+
+StatusOr<PhysicalPlan> LowerPlan(const PlanNode& root,
+                                 const LowerOptions& opts) {
+  XVM_ASSIGN_OR_RETURN(PlanFacts analyzed, AnalyzePlan(root));
+  Lowerer lowerer(opts);
+  XVM_ASSIGN_OR_RETURN(Lowered lowered, lowerer.Lower(root));
+  // Cross-check: the kernel pipeline must reproduce the analyzed schema
+  // exactly, or fused scans / projections were composed wrongly.
+  if (!(lowered.facts.schema == analyzed.schema)) {
+    return Status::Internal(
+        "lowering produced schema " + lowered.facts.schema.ToString() +
+        " but the analyzer proved " + analyzed.schema.ToString());
+  }
+  return std::move(lowerer).TakePlan();
+}
+
+}  // namespace xvm

@@ -1,0 +1,134 @@
+#ifndef XVM_ALGEBRA_EXEC_PHYSICAL_H_
+#define XVM_ALGEBRA_EXEC_PHYSICAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algebra/analyze/plan.h"
+#include "algebra/value.h"
+#include "common/status.h"
+
+namespace xvm {
+
+/// Physical lowering of the plan IR (algebra/analyze/plan.h): the pass that
+/// turns an analyzed logical plan into the kernel sequence the executor
+/// (algebra/exec/exec.h) runs. Kernel selection is fact-driven — the same
+/// order/dependency facts the install-time analyzer proves decide, per node:
+///
+///  * SortBy whose input order is statically proven becomes kSortElided, a
+///    pass-through that under XVM_CHECK_INVARIANTS audits the order it
+///    relies on (the per-leaf IsSortedByIdCol scans and the re-sort after
+///    every structural join of the old fused evaluators both collapse into
+///    this).
+///  * SortBy whose input order is plausible but not runtime-trustworthy
+///    (anything fed by a materialized snowcap — see LowerOptions) becomes
+///    kSortAdaptive: one O(n) sortedness check, then either a pass-through
+///    or a real stable sort.
+///  * DupElim over input proven sorted such that group order equals
+///    full-tuple order becomes kDupElimSorted (adjacent grouping) instead of
+///    the EncodeTuple hash map.
+///  * Select/Project chains directly over a pattern leaf fuse into the scan
+///    (one pass, no intermediate relations).
+///
+/// Lowering computes its own *runtime-trustworthy* order facts rather than
+/// reusing the analyzer's verbatim: a materialized snowcap's declared sort
+/// contract holds at install time but is weakened by maintenance
+/// (MaintainSnowcapsInsert appends term rows without re-sorting), so a
+/// snowcap leaf's order contributes nothing to static elision unless
+/// LowerOptions.trust_snowcap_order is set.
+
+/// Physical kernel of one lowered node.
+enum class PhysKernel : uint8_t {
+  kScan,          // pattern/literal leaf + fused predicates/projection
+  kSnowcapScan,   // borrow a materialized snowcap relation in place
+  kSelect,        // standalone σ (above non-leaf input)
+  kProject,       // standalone π
+  kSortElided,    // statically proven: pass-through (+ invariant audit)
+  kSortAdaptive,  // runtime check-then-sort
+  kDupElimSorted, // adjacent grouping on proven-sorted input
+  kDupElimHash,   // EncodeTuple hash grouping + final sort
+  kProduct,
+  kHashJoin,
+  kStructJoin,
+  kUnionAll,
+};
+
+inline constexpr size_t kNumPhysKernels = 12;
+
+/// Stable lowercase kernel name ("scan", "sort-elided", ...), used for the
+/// __exec__ metrics counter names and the planlint --physical dump.
+const char* PhysKernelName(PhysKernel k);
+
+/// One lowered operator. Parameters are copied out of the logical plan, so
+/// a PhysicalPlan is self-contained (the logical plan may be discarded).
+struct PhysNode {
+  PhysKernel kernel = PhysKernel::kScan;
+  std::vector<int> inputs;  // indices into PhysicalPlan::nodes (post-order)
+  Schema schema;            // output schema
+
+  // kScan / kSnowcapScan.
+  PlanLeafKind leaf_kind = PlanLeafKind::kLiteral;
+  std::string leaf_name;
+  Schema leaf_schema;
+  std::vector<int> leaf_sort_prefix;
+  int leaf_node = -1;  // pattern-node index, -1 when not pattern-derived
+
+  // kScan fused filters + kSelect predicates (evaluated in plan order,
+  // against the *leaf* schema for scans).
+  std::vector<PlanPredicate> predicates;
+  // kScan fused projection (empty = identity) / kProject columns /
+  // kSortElided + kSortAdaptive keys.
+  std::vector<int> cols;
+
+  // kStructJoin.
+  int outer_col = -1;
+  int inner_col = -1;
+  Axis axis = Axis::kDescendant;
+  // kHashJoin.
+  std::vector<int> left_cols;
+  std::vector<int> right_cols;
+
+  /// Why this kernel was chosen (elision proof, distrusted contract, ...).
+  /// Shown by planlint --physical; empty when the choice needs no comment.
+  std::string note;
+
+  /// One-line description with parameters, mirroring PlanNode::Describe.
+  std::string Describe() const;
+};
+
+/// A lowered plan: kernels in post-order (every node's inputs precede it;
+/// the root is the last node).
+struct PhysicalPlan {
+  std::vector<PhysNode> nodes;
+  int sorts_elided_static = 0;  // SortBy nodes lowered to kSortElided
+  int scans_fused = 0;          // scans that absorbed a select/project
+
+  int root() const { return static_cast<int>(nodes.size()) - 1; }
+  const Schema& output_schema() const { return nodes.back().schema; }
+
+  /// Indented kernel tree, root first — the byte-exact format the planlint
+  /// --physical goldens pin.
+  std::string ToString() const;
+};
+
+struct LowerOptions {
+  /// Trust the declared sort contract of kSnowcap leaves. Off by default:
+  /// MaintainSnowcapsInsert appends rows without re-sorting, so at runtime a
+  /// materialized snowcap is NOT generally in its declared order, and a sort
+  /// elided from that contract would silently mis-feed the merge-based
+  /// structural join. With the default, every sort above a snowcap lowers
+  /// to the adaptive check-then-sort kernel (bit-identical to the old fused
+  /// evaluator's IsSortedByIdCol + conditional SortBy).
+  bool trust_snowcap_order = false;
+};
+
+/// Validates `root` with AnalyzePlan, then lowers it. Fails (propagating
+/// the analyzer's diagnostic) on any plan the install-time gate would
+/// reject; compiler-emitted plans of installed views never fail.
+StatusOr<PhysicalPlan> LowerPlan(const PlanNode& root,
+                                 const LowerOptions& opts = {});
+
+}  // namespace xvm
+
+#endif  // XVM_ALGEBRA_EXEC_PHYSICAL_H_

@@ -89,7 +89,17 @@ std::vector<CountedTuple> DupElimWithCounts(const Relation& in) {
   return out;
 }
 
-Relation CartesianProduct(const Relation& left, const Relation& right) {
+StatusOr<Relation> CartesianProduct(const Relation& left,
+                                    const Relation& right) {
+  // Check the product size before any allocation (the multiplication itself
+  // can overflow size_t on adversarial inputs).
+  if (!left.empty() &&
+      static_cast<uint64_t>(right.size()) > kMaxProductRows / left.size()) {
+    return Status::OutOfRange(
+        "cartesian product of " + std::to_string(left.size()) + " x " +
+        std::to_string(right.size()) + " rows exceeds the bound of " +
+        std::to_string(kMaxProductRows));
+  }
   Relation out;
   out.schema = Schema::Concat(left.schema, right.schema);
   out.rows.reserve(left.size() * right.size());
@@ -191,6 +201,9 @@ Relation UnionAll(Relation a, const Relation& b) {
     a.schema = b.schema;
   }
   XVM_CHECK(a.schema.size() == b.schema.size());
+  for (size_t c = 0; c < a.schema.size(); ++c) {
+    XVM_CHECK(a.schema.col(c).kind == b.schema.col(c).kind);
+  }
   a.rows.insert(a.rows.end(), b.rows.begin(), b.rows.end());
   return a;
 }

@@ -7,6 +7,7 @@
 
 #include "algebra/expr.h"
 #include "algebra/value.h"
+#include "common/status.h"
 #include "store/canonical.h"
 
 namespace xvm {
@@ -48,8 +49,16 @@ struct CountedTuple {
 /// input rows that collapse to it (number of derivations). Output is sorted.
 std::vector<CountedTuple> DupElimWithCounts(const Relation& in);
 
-/// Cartesian product (n-ary ×, pairwise).
-Relation CartesianProduct(const Relation& left, const Relation& right);
+/// Upper bound on the rows one Cartesian product may emit. Products only
+/// appear in adversarial / test plans (pattern compilation never emits one),
+/// so a blown-up product is a malformed plan, not a workload to serve —
+/// same philosophy as the persist layer's bounded reads.
+inline constexpr uint64_t kMaxProductRows = uint64_t{1} << 24;
+
+/// Cartesian product (n-ary ×, pairwise). Fails with OutOfRange instead of
+/// allocating when the result would exceed kMaxProductRows.
+StatusOr<Relation> CartesianProduct(const Relation& left,
+                                    const Relation& right);
 
 /// Hash equi-join on left.cols == right.cols (pairwise).
 Relation HashJoinEq(const Relation& left, const std::vector<int>& left_cols,
@@ -72,7 +81,10 @@ Relation StructuralJoin(const Relation& outer, int outer_col,
 /// Checks that `rel` is sorted by ID column `col` (debug validation).
 bool IsSortedByIdCol(const Relation& rel, int col);
 
-/// Concatenates rows of two union-compatible relations.
+/// Concatenates rows of two union-compatible relations. Compatibility is
+/// checked per column by kind, not by name: the Δ terms of one union rename
+/// columns freely ("R:person.ID" vs "delta:person.ID"), but concatenating
+/// an ID column onto a payload column is always a plan bug and aborts.
 Relation UnionAll(Relation a, const Relation& b);
 
 }  // namespace xvm

@@ -1,7 +1,12 @@
 #include "pattern/compile.h"
 
 #include <algorithm>
+#include <iostream>
+#include <utility>
 
+#include "algebra/analyze/build_plan.h"
+#include "algebra/exec/exec.h"
+#include "algebra/exec/physical.h"
 #include "common/status.h"
 
 namespace xvm {
@@ -63,58 +68,31 @@ LeafSource StoreLeafSource(const StoreIndex* store,
 
 namespace {
 
-/// Evaluates the sub-pattern rooted at node `i`; returns a relation whose
-/// first column is node i's ID, sorted by it.
-Relation EvalNodeRec(const TreePattern& pattern, const LeafSource& leaf_source,
-                     const std::vector<bool>* subset, int i) {
-  const PatternNode& n = pattern.node(i);
-  Relation rel = leaf_source(i);
-  XVM_CHECK(rel.schema.size() >= 1);
-  XVM_CHECK(rel.schema.col(0).name == n.name + ".ID");
-
-  // A '/'-anchored pattern root matches only the document root element.
-  if (i == 0 && n.edge == EdgeKind::kChild) {
-    Relation filtered;
-    filtered.schema = rel.schema;
-    for (auto& row : rel.rows) {
-      if (row[0].id().depth() == 1) filtered.rows.push_back(std::move(row));
-    }
-    rel = std::move(filtered);
+/// Lowers a compiler-built plan. A failure here means the pattern builders
+/// emitted a plan the analyzer rejects — a programming error, not an input
+/// error, so it aborts with the analyzer's diagnostic (matching how the old
+/// fused evaluator XVM_CHECKed its structural assumptions).
+PhysicalPlan LowerOrDie(const PlanNode& plan) {
+  StatusOr<PhysicalPlan> phys = LowerPlan(plan);
+  if (!phys.ok()) {
+    std::cerr << "pattern plan failed to lower: " << phys.status().ToString()
+              << "\n";
   }
+  XVM_CHECK(phys.ok());
+  return std::move(*phys);
+}
 
-  // Value predicate; afterwards drop a val column that exists only for the
-  // predicate, so binding schemas are uniform across leaf sources.
-  if (n.val_pred.has_value()) {
-    int val_col = rel.schema.IndexOf(n.name + ".val");
-    XVM_CHECK(val_col >= 0);
-    rel = Select(rel, *ColEqualsConst(val_col, *n.val_pred));
-    if (!n.store_val) {
-      std::vector<int> keep;
-      for (size_t c = 0; c < rel.schema.size(); ++c) {
-        if (static_cast<int>(c) != val_col) keep.push_back(static_cast<int>(c));
-      }
-      rel = Project(rel, keep);
-    }
-  }
-
-  // Leaf contract: sorted by ID. Enforce (cheap if already sorted).
-  if (!IsSortedByIdCol(rel, 0)) rel = SortBy(std::move(rel), {0});
-
-  for (int c : n.children) {
-    if (!Included(subset, c)) continue;
-    Relation child_rel = EvalNodeRec(pattern, leaf_source, subset, c);
-    Axis axis = pattern.node(c).edge == EdgeKind::kChild ? Axis::kChild
-                                                         : Axis::kDescendant;
-    // Outer (this subtree so far) is sorted by column 0 = node i's ID;
-    // inner is sorted by its column 0 = child's ID.
-    size_t outer_width = rel.schema.size();
-    rel = StructuralJoin(rel, 0, child_rel, static_cast<int>(0) + 0, axis);
-    (void)outer_width;
-    // Structural join output is sorted by the inner column; restore the
-    // node-i ordering for the next child / the parent join.
-    rel = SortBy(std::move(rel), {0});
-  }
-  return rel;
+/// Executes a lowered pattern plan with every leaf resolved through
+/// `leaf_source` (the plans built here contain only pattern-derived leaves,
+/// so store vs delta naming is diagnostic-only; the caller's source decides
+/// what the leaves actually read).
+Relation ExecuteOrDie(const PhysicalPlan& phys, const LeafSource& leaf_source) {
+  PhysExecContext ctx;
+  ctx.store_leaf = leaf_source;
+  ctx.delta_leaf = leaf_source;
+  StatusOr<Relation> out = ExecutePhysicalPlan(phys, ctx);
+  XVM_CHECK(out.ok());
+  return std::move(*out);
 }
 
 }  // namespace
@@ -124,21 +102,18 @@ Relation EvalTreePattern(const TreePattern& pattern,
                          const std::vector<bool>* subset) {
   XVM_CHECK(!pattern.empty());
   XVM_CHECK(Included(subset, 0));
-  Relation rel = EvalNodeRec(pattern, leaf_source, subset, 0);
-  // Deterministic output: sort by every ID column (the paper's s_cols).
-  BindingLayout layout = ComputeBindingLayout(pattern, subset);
-  std::vector<int> id_cols;
-  for (const auto& nl : layout.per_node) {
-    if (nl.id_col >= 0) id_cols.push_back(nl.id_col);
-  }
-  return SortBy(std::move(rel), id_cols);
+  PlanNodePtr plan =
+      BuildPatternPlan(pattern, subset, PlanLeafSourceKind::kStore);
+  return ExecuteOrDie(LowerOrDie(*plan), leaf_source);
 }
 
 Relation EvalPatternSubtree(const TreePattern& pattern,
                             const LeafSource& leaf_source, int root_node,
                             const std::vector<bool>* subset) {
   XVM_CHECK(Included(subset, root_node));
-  return EvalNodeRec(pattern, leaf_source, subset, root_node);
+  PlanNodePtr plan = BuildPatternSubtreePlan(pattern, root_node, subset,
+                                             PlanLeafSourceKind::kStore);
+  return ExecuteOrDie(LowerOrDie(*plan), leaf_source);
 }
 
 std::vector<int> StoredColumnIndices(const TreePattern& pattern,
@@ -157,10 +132,15 @@ std::vector<int> StoredColumnIndices(const TreePattern& pattern,
 
 std::vector<CountedTuple> EvalViewWithCounts(const TreePattern& pattern,
                                              const LeafSource& leaf_source) {
-  Relation bindings = EvalTreePattern(pattern, leaf_source, nullptr);
-  BindingLayout layout = ComputeBindingLayout(pattern, nullptr);
-  Relation projected = Project(bindings, StoredColumnIndices(pattern, layout));
-  return DupElimWithCounts(projected);
+  PlanNodePtr plan = BuildViewPlan(pattern);
+  PhysicalPlan phys = LowerOrDie(*plan);
+  PhysExecContext ctx;
+  ctx.store_leaf = leaf_source;
+  ctx.delta_leaf = leaf_source;
+  StatusOr<std::vector<CountedTuple>> out =
+      ExecutePhysicalPlanWithCounts(phys, ctx);
+  XVM_CHECK(out.ok());
+  return std::move(*out);
 }
 
 Schema ViewTupleSchema(const TreePattern& pattern) {

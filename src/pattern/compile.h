@@ -43,10 +43,13 @@ using LeafSource = std::function<Relation(int node_idx)>;
 LeafSource StoreLeafSource(const StoreIndex* store, const TreePattern* pattern);
 
 /// Evaluates the (sub-)pattern as a full binding relation: the algebraic
-/// semantics of §2.2 before projection/duplicate elimination. Structural
-/// relationships are evaluated with stack-based structural joins; value
-/// predicates with selections; a root anchored by '/' is restricted to the
-/// document root element. Output sorted by all ID columns.
+/// semantics of §2.2 before projection/duplicate elimination. A thin wrapper
+/// over the physical executor: builds the pattern's plan IR
+/// (algebra/analyze/build_plan.h), lowers it with fact-driven kernel
+/// selection (algebra/exec/physical.h) and runs it (algebra/exec/exec.h) —
+/// structural relationships via stack-based structural joins, value
+/// predicates fused into the leaf scans, a '/'-anchored root restricted to
+/// the document root element. Output sorted by all ID columns.
 Relation EvalTreePattern(const TreePattern& pattern,
                          const LeafSource& leaf_source,
                          const std::vector<bool>* subset = nullptr);

@@ -1,7 +1,11 @@
 #include "view/maintain.h"
 
 #include <algorithm>
+#include <iostream>
+#include <tuple>
+#include <utility>
 
+#include "algebra/analyze/build_plan.h"
 #include "algebra/analyze/delta_check.h"
 #include "common/invariant.h"
 #include "store/audit.h"
@@ -38,23 +42,6 @@ bool AnyAnchorStrictlyBelow(const std::vector<DeweyId>& sorted_anchors,
                             const DeweyId& id) {
   auto it = std::upper_bound(sorted_anchors.begin(), sorted_anchors.end(), id);
   return it != sorted_anchors.end() && id.IsAncestorOf(*it);
-}
-
-/// Column layout of EvalPatternSubtree's output: pre-order over the subtree
-/// of `root` restricted to `within`.
-void SubtreeLayoutRec(const TreePattern& pattern, const NodeSet& within,
-                      int node, int* next_col,
-                      std::vector<NodeLayout>* per_node) {
-  const PatternNode& n = pattern.node(node);
-  NodeLayout& l = (*per_node)[static_cast<size_t>(node)];
-  l.id_col = (*next_col)++;
-  if (n.store_val) l.val_col = (*next_col)++;
-  if (n.store_cont) l.cont_col = (*next_col)++;
-  for (int c : n.children) {
-    if (within[static_cast<size_t>(c)]) {
-      SubtreeLayoutRec(pattern, within, c, next_col, per_node);
-    }
-  }
 }
 
 }  // namespace
@@ -204,6 +191,25 @@ LeafSource MaintainedView::DeltaLeafSource(const DeltaTables& delta) const {
   };
 }
 
+const PhysicalPlan& MaintainedView::TermPlan(const NodeSet& within,
+                                             const NodeSet& delta_set,
+                                             bool r_part_materialized,
+                                             bool with_region) {
+  auto key = std::make_tuple(within, delta_set, with_region);
+  auto it = term_plans_.find(key);
+  if (it != term_plans_.end()) return it->second;
+  PlanNodePtr logical = BuildTermPlan(def_.pattern(), within, delta_set,
+                                      r_part_materialized, with_region);
+  StatusOr<PhysicalPlan> phys = LowerPlan(*logical);
+  if (!phys.ok()) {
+    std::cerr << "view '" << def_.name()
+              << "': term plan failed to lower: " << phys.status().ToString()
+              << "\n";
+  }
+  XVM_CHECK(phys.ok());
+  return term_plans_.emplace(std::move(key), std::move(*phys)).first->second;
+}
+
 Relation MaintainedView::EvaluateTerm(const NodeSet& within,
                                       const NodeSet& delta_set,
                                       const DeltaTables& delta,
@@ -219,101 +225,29 @@ Relation MaintainedView::EvaluateTerm(const NodeSet& within,
       r_empty = false;
     }
   }
-  LeafSource delta_src = DeltaLeafSource(delta);
+  // t_R as a materialized snowcap if the lattice has one; the executor then
+  // reads it in place (never copied — a "small" term must not become linear
+  // in the auxiliary structure's size; the adaptive sort kernel passes it
+  // through whenever it is already ordered by the frontier column, and the
+  // stack-based structural join only scans outer rows up to the last Δ ID).
+  const MaterializedSnowcap* msc = r_empty ? nullptr : lattice_.Find(r_part);
+  const bool with_region = region != nullptr && !region->empty();
+  const PhysicalPlan& phys =
+      TermPlan(within, delta_set, msc != nullptr, with_region);
 
-  if (r_empty) {
-    // The whole (sub-)pattern binds to freshly changed nodes.
-    return EvalTreePattern(pat, delta_src, &within);
-  }
-
-  // t_R: materialized snowcap if available, else recomputed from leaves.
-  // The snowcap is read in place whenever it is already ordered by the
-  // frontier column — copying it would make a "small" term linear in the
-  // auxiliary structure's size; the stack-based structural join only scans
-  // outer rows up to the last Δ ID anyway.
-  Relation owned;
-  const Relation* cur = nullptr;
-  std::vector<NodeLayout> cur_layout(k);
-  const MaterializedSnowcap* msc = lattice_.Find(r_part);
+  PhysExecContext ctx;
+  ctx.store_leaf = StoreLeafSource(store_, &pat);
+  ctx.delta_leaf = DeltaLeafSource(delta);
   if (msc != nullptr) {
-    cur = &msc->data;
-    cur_layout = msc->layout.per_node;
-  } else {
-    owned = EvalTreePattern(pat, StoreLeafSource(store_, &pat), &r_part);
-    cur = &owned;
-    cur_layout = ComputeBindingLayout(pat, &r_part).per_node;
+    ctx.snowcap_leaf = [msc](const PhysNode&) { return &msc->data; };
   }
-
-  // Join the Δ sub-patterns hanging off the snowcap frontier.
-  int width = static_cast<int>(cur->schema.size());
-  for (size_t c = 0; c < k; ++c) {
-    if (!within[c] || !delta_set[c]) continue;
-    int parent = pat.node(static_cast<int>(c)).parent;
-    if (parent < 0 || !r_part[static_cast<size_t>(parent)]) continue;
-    // Frontier edge parent -> c.
-    Relation dsub = EvalPatternSubtree(pat, delta_src, static_cast<int>(c),
-                                       &within);
-    std::vector<NodeLayout> sub_layout(k);
-    int next_col = 0;
-    SubtreeLayoutRec(pat, within, static_cast<int>(c), &next_col, &sub_layout);
-
-    int pcol = cur_layout[static_cast<size_t>(parent)].id_col;
-    XVM_CHECK(pcol >= 0);
-    if (!IsSortedByIdCol(*cur, pcol)) {
-      owned = cur == &owned ? SortBy(std::move(owned), {pcol})
-                            : SortBy(*cur, {pcol});
-      cur = &owned;
-    }
-    Axis axis = pat.node(static_cast<int>(c)).edge == EdgeKind::kChild
-                    ? Axis::kChild
-                    : Axis::kDescendant;
-    owned = StructuralJoin(*cur, pcol, dsub, 0, axis);
-    cur = &owned;
-    for (int s : pat.Subtree(static_cast<int>(c))) {
-      if (!within[static_cast<size_t>(s)]) continue;
-      NodeLayout l = sub_layout[static_cast<size_t>(s)];
-      if (l.id_col >= 0) l.id_col += width;
-      if (l.val_col >= 0) l.val_col += width;
-      if (l.cont_col >= 0) l.cont_col += width;
-      cur_layout[static_cast<size_t>(s)] = l;
-    }
-    width += static_cast<int>(dsub.schema.size());
+  if (with_region) {
+    ctx.deleted = [region](const DeweyId& id) { return region->Covers(id); };
   }
-
-  // σ_alive: keep only rows whose R-side bindings survived the deletion.
-  // (`cur` points at `owned` here: every surviving term has at least one
-  // frontier join, whose output the loop above stored into `owned`.)
-  XVM_CHECK(cur == &owned);
-  if (region != nullptr && !region->empty()) {
-    Relation filtered;
-    filtered.schema = owned.schema;
-    for (auto& row : owned.rows) {
-      bool alive = true;
-      for (size_t i = 0; i < k && alive; ++i) {
-        if (!r_part[i]) continue;
-        if (region->Covers(row[static_cast<size_t>(cur_layout[i].id_col)].id())) {
-          alive = false;
-        }
-      }
-      if (alive) filtered.rows.push_back(std::move(row));
-    }
-    owned = std::move(filtered);
-  }
-
-  // Reorder columns to the canonical (pre-order) layout of `within`.
-  BindingLayout canon = ComputeBindingLayout(pat, &within);
-  std::vector<int> proj;
-  proj.reserve(canon.schema.size());
-  for (int i : pat.Subtree(0)) {
-    if (!within[static_cast<size_t>(i)]) continue;
-    const NodeLayout& l = cur_layout[static_cast<size_t>(i)];
-    const PatternNode& n = pat.node(i);
-    XVM_CHECK(l.id_col >= 0);
-    proj.push_back(l.id_col);
-    if (n.store_val) proj.push_back(l.val_col);
-    if (n.store_cont) proj.push_back(l.cont_col);
-  }
-  return Project(owned, proj);
+  ctx.stats = &exec_stats_;
+  StatusOr<Relation> out = ExecutePhysicalPlan(phys, ctx);
+  XVM_CHECK(out.ok());
+  return std::move(*out);
 }
 
 bool MaintainedView::PredicateGuardTriggered(const DeltaTables& delta) const {
@@ -365,7 +299,9 @@ void MaintainedView::PropagateInsert(const DeltaTables& delta_plus,
       Relation rel = EvaluateTerm(all, *ds, delta_plus, region);
       ++stats->terms_evaluated;
       Relation proj = Project(rel, stored_cols_);
-      for (const CountedTuple& ct : DupElimWithCounts(proj)) {
+      // Derivation counting over the executor's term output — view-content
+      // bookkeeping, not plan interpretation.
+      for (const CountedTuple& ct : DupElimWithCounts(proj)) {  // NOLINT(xvm-exec): counts derivations of an executed term
         view_.AddDerivations(ct.tuple, ct.count);
         stats->derivations_added += ct.count;
       }
@@ -408,7 +344,8 @@ void MaintainedView::PropagateDelete(const DeltaTables& delta_minus,
       Relation rel = EvaluateTerm(all, *ds, delta_minus, &region);
       ++stats->terms_evaluated;
       Relation proj = Project(rel, removal_cols_);
-      for (const CountedTuple& ct : DupElimWithCounts(proj)) {
+      // Same as the insert side: multiset bookkeeping, not execution.
+      for (const CountedTuple& ct : DupElimWithCounts(proj)) {  // NOLINT(xvm-exec): counts derivations of an executed term
         view_.RemoveDerivationsByIdKey(EncodeTuple(ct.tuple), ct.count);
         stats->derivations_removed += ct.count;
       }

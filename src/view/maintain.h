@@ -1,11 +1,14 @@
 #ifndef XVM_VIEW_MAINTAIN_H_
 #define XVM_VIEW_MAINTAIN_H_
 
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "algebra/exec/exec.h"
 #include "common/status.h"
 #include "common/timing.h"
 #include "pul/pul.h"
@@ -133,6 +136,15 @@ class MaintainedView {
   /// stored-val / predicate labels, cont for stored-cont labels).
   DeltaNeeds DeltaPlusNeeds() const;
 
+  /// Returns and resets the executor statistics accumulated by term
+  /// evaluation since the last call. ViewManager aggregates these across
+  /// views and flushes them under the "__exec__" pseudo-view.
+  ExecStats TakeExecStats() {
+    ExecStats out = exec_stats_;
+    exec_stats_ = ExecStats{};
+    return out;
+  }
+
  private:
   friend class TermEvaluationProbe;  // test access
 
@@ -141,6 +153,13 @@ class MaintainedView {
                   const DeltaTables& delta) const;
   Relation EvaluateTerm(const NodeSet& within, const NodeSet& delta_set,
                         const DeltaTables& delta, const DeletedRegion* region);
+  /// Lowered physical plan of one union term, built and analyzed on first
+  /// use, then cached for the view's lifetime (plans depend only on the
+  /// pattern, the lattice shape and the key below — all fixed after
+  /// construction). Aborts if the term plan fails analysis; ViewManager
+  /// install gating (CheckPlans) rejects such views before this can run.
+  const PhysicalPlan& TermPlan(const NodeSet& within, const NodeSet& delta_set,
+                               bool r_part_materialized, bool with_region);
   LeafSource DeltaLeafSource(const DeltaTables& delta) const;
   void MaintainSnowcapsInsert(const DeltaTables& delta,
                               const DeletedRegion* region);
@@ -165,6 +184,11 @@ class MaintainedView {
   std::vector<int> stored_cols_;      // canonical binding -> stored tuple
   std::vector<int> removal_cols_;     // canonical binding -> stored ID cols
   std::vector<NodeLayout> stored_node_layout_;  // node -> cols in stored tuple
+  // Lazily lowered term plans, keyed by (within, delta_set, with_region);
+  // whether the R-part is a materialized snowcap is a function of the
+  // lattice, which is fixed, so it needs no key component.
+  std::map<std::tuple<NodeSet, NodeSet, bool>, PhysicalPlan> term_plans_;
+  ExecStats exec_stats_;    // accumulated by EvaluateTerm, drained by manager
   uint64_t audit_seq_ = 0;  // statements audited (samples the view audit)
 };
 

@@ -448,6 +448,13 @@ void ViewManager::RecordMetrics(const MultiUpdateOutcome& out) {
       metrics_->AddCounter(name, "recompute_fallbacks", 1);
     }
   }
+  // Executor statistics (per-kernel row counts, sort elisions) accumulate
+  // inside each view's term evaluation; drain and report them together
+  // under the __exec__ pseudo-view.
+  ExecStats exec;
+  for (auto& v : views_) exec.MergeFrom(v->TakeExecStats());
+  FlushExecStats(exec, metrics_);
+
   for (const auto& [phase, ms] : out.shared_timing.phases()) {
     metrics_->RecordPhase(kSharedMetricsView, phase, ms);
   }

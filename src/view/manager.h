@@ -44,6 +44,11 @@ inline constexpr char kStoreMetricsView[] = "__store__";
 /// latency, and gauges snapshot_generation / staleness_max.
 inline constexpr char kServingMetricsView[] = "__serving__";
 
+// The physical executor's statistics (per-kernel invocation and row
+// counters, static/dynamic sort elisions, scan fusions, the execute_plan
+// phase) are reported under kExecMetricsView ("__exec__"), declared in
+// algebra/exec/exec.h next to the executor that produces them.
+
 /// Coordinates several materialized views over one document/store: the
 /// paper's "context where several views are materialized" (§3.5). A
 /// statement is located and applied to the document exactly once; the Δ

@@ -92,9 +92,24 @@ TEST(OperatorsTest, DupElimCountsDerivations) {
 TEST(OperatorsTest, CartesianProduct) {
   Relation a = OneIdCol("a.ID", {Id({{1, 0}}), Id({{1, 1}})});
   Relation b = OneIdCol("b.ID", {Id({{2, 0}})});
-  Relation out = CartesianProduct(a, b);
-  EXPECT_EQ(out.size(), 2u);
-  EXPECT_EQ(out.schema.size(), 2u);
+  StatusOr<Relation> out = CartesianProduct(a, b);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+  EXPECT_EQ(out->schema.size(), 2u);
+}
+
+TEST(OperatorsTest, CartesianProductRejectsBlowup) {
+  // 2^13 x 2^13 = 2^26 > kMaxProductRows; must fail before allocating.
+  Relation a, b;
+  a.schema.Add({"x", ValueKind::kInt});
+  b.schema.Add({"y", ValueKind::kInt});
+  for (int64_t i = 0; i < (1 << 13); ++i) {
+    a.rows.push_back({Value(i)});
+    b.rows.push_back({Value(i)});
+  }
+  StatusOr<Relation> out = CartesianProduct(a, b);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kOutOfRange);
 }
 
 TEST(OperatorsTest, HashJoinEq) {
@@ -114,6 +129,22 @@ TEST(OperatorsTest, UnionAllAdoptsSchemaOfFirstNonEmpty) {
   Relation u = UnionAll(std::move(a), b);
   EXPECT_EQ(u.schema.size(), 1u);
   EXPECT_EQ(u.size(), 1u);
+}
+
+TEST(OperatorsTest, UnionAllAllowsRenamedColumnsOfSameKind) {
+  Relation a = OneIdCol("R:person.ID", {Id({{1, 0}})});
+  Relation b = OneIdCol("delta:person.ID", {Id({{1, 1}})});
+  Relation u = UnionAll(std::move(a), b);
+  EXPECT_EQ(u.size(), 2u);
+  EXPECT_EQ(u.schema.col(0).name, "R:person.ID");
+}
+
+TEST(OperatorsTest, UnionAllRejectsKindMismatch) {
+  Relation a = OneIdCol("n.ID", {Id({{1, 0}})});
+  Relation b;
+  b.schema.Add({"n.val", ValueKind::kString});
+  b.rows = {{Value(std::string("x"))}};
+  EXPECT_DEATH(UnionAll(std::move(a), b), "kind");
 }
 
 // ---- Structural join ----

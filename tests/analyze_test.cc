@@ -206,6 +206,16 @@ TEST(AnalyzeRejectTest, UnionOfIncompatibleSchemas) {
   ExpectRejected(MakeUnionAll(Leaf("a"), std::move(bad)), "union");
 }
 
+TEST(AnalyzeRejectTest, UnionAcceptsRenamedColumnsOfSameKind) {
+  // The Δ terms of one union rename columns freely ("R:person.ID" vs
+  // "delta:person.ID"): compatibility is per-column kind, not name, and
+  // the union keeps the first input's names (matching UnionAll).
+  PlanNodePtr plan = MakeUnionAll(Leaf("a"), Leaf("b"));
+  auto facts = AnalyzePlan(*plan);
+  ASSERT_TRUE(facts.ok()) << facts.status().ToString();
+  EXPECT_EQ(facts->schema.col(0).name, "a.ID");
+}
+
 TEST(AnalyzeRejectTest, UnionOfArityZeroInputsRejected) {
   // Arity-0 relations satisfy every per-column union check vacuously; the
   // analyzer must reject them at the leaf instead of proving nothing.

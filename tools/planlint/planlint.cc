@@ -14,6 +14,13 @@
 // corrupts the next view's term plans with a named, deliberately-unsound
 // rewrite — the negative corpus that well-formedness checking alone accepts.
 //
+// With --physical each accepted view instead prints the *lowered* physical
+// plans the executor will run (algebra/exec/physical.h): the base
+// evaluation plan and every Δ-rewrite union term, with the chosen kernel
+// per operator and a note explaining each statically elided sort, each
+// adaptive check-then-sort and each fused scan. Goldens over this output
+// pin kernel selection byte-exactly.
+//
 // Corpus format, one directive per line (# starts a comment):
 //   view NAME xpath id|idval|idcont XPATH-EXPRESSION
 //   view NAME pattern PATTERN-DSL
@@ -29,10 +36,13 @@
 #include <string>
 #include <vector>
 
+#include "algebra/analyze/build_plan.h"
 #include "algebra/analyze/delta_check.h"
+#include "algebra/exec/physical.h"
 #include "pattern/from_xpath.h"
 #include "view/lattice.h"
 #include "view/plan_check.h"
+#include "view/terms.h"
 #include "view/view_def.h"
 
 namespace xvm {
@@ -110,6 +120,52 @@ bool ProveView(const std::string& name, const std::string& kind,
   return true;
 }
 
+/// Dumps the lowered physical plans of one view directive (--physical
+/// mode); returns true iff every plan lowered successfully.
+bool PhysicalView(const std::string& name, const std::string& kind,
+                  const std::string& rest) {
+  auto def = CompileDirective(name, kind, rest);
+  if (!def.ok()) {
+    std::cout << "view " << name << ": REJECTED (compile)\n"
+              << Indent(def.status().message()) << "\n";
+    return false;
+  }
+  const TreePattern& pat = def->pattern();
+  ViewLattice lattice(&pat, LatticeStrategy::kSnowcaps);
+  bool ok = true;
+  auto dump = [&](const std::string& title, const PlanNode& plan) {
+    StatusOr<PhysicalPlan> phys = LowerPlan(plan);
+    if (!phys.ok()) {
+      std::cout << "view " << name << " " << title << ": REJECTED (lowering)\n"
+                << Indent(phys.status().message()) << "\n";
+      ok = false;
+      return;
+    }
+    std::cout << "view " << name << " " << title << " (sorts elided "
+              << phys->sorts_elided_static << ", scans fused "
+              << phys->scans_fused << "):\n"
+              << Indent(phys->ToString()) << "\n";
+  };
+  dump("base", *BuildViewPlan(pat));
+  // The same Δ-rewrite union terms EvaluateTerm will run (insert side;
+  // the delete side only adds a σ_alive over the same kernel choices).
+  NodeSet all(pat.size(), true);
+  for (const NodeSet& ds : EnumerateDeltaSets(pat)) {
+    NodeSet r_part(pat.size(), false);
+    bool r_empty = true;
+    for (size_t i = 0; i < pat.size(); ++i) {
+      r_part[i] = !ds[i];
+      if (r_part[i]) r_empty = false;
+    }
+    const bool mat = !r_empty && lattice.Find(r_part) != nullptr;
+    PlanNodePtr term = BuildTermPlan(pat, all, ds, mat, false);
+    dump("term delta=" + NodeSetToString(pat, ds) +
+             (mat ? " [snowcap R-part]" : ""),
+         *term);
+  }
+  return ok;
+}
+
 /// Lints one view directive; returns true iff the view was accepted.
 bool LintView(const std::string& name, const std::string& kind,
               const std::string& rest) {
@@ -134,7 +190,9 @@ bool LintView(const std::string& name, const std::string& kind,
   return true;
 }
 
-int Run(const std::vector<std::string>& files, bool prove_delta) {
+enum class Mode { kLint, kProve, kPhysical };
+
+int Run(const std::vector<std::string>& files, Mode mode) {
   size_t views = 0;
   size_t rejected = 0;
   DeltaPlanMutation pending_mutation = DeltaPlanMutation::kNone;
@@ -153,7 +211,7 @@ int Run(const std::vector<std::string>& files, bool prove_delta) {
       if (!(tok >> word) || word[0] == '#') continue;
       if (word == "mutate") {
         std::string mname;
-        if (!prove_delta || !(tok >> mname)) {
+        if (mode != Mode::kProve || !(tok >> mname)) {
           std::cerr << "planlint: " << path << ":" << lineno
                     << ": mutate directive requires --prove-delta and a "
                        "mutation name\n";
@@ -178,8 +236,10 @@ int Run(const std::vector<std::string>& files, bool prove_delta) {
       std::getline(tok, rest);
       while (!rest.empty() && rest.front() == ' ') rest.erase(rest.begin());
       ++views;
-      bool ok = prove_delta ? ProveView(name, kind, rest, pending_mutation)
-                            : LintView(name, kind, rest);
+      bool ok = mode == Mode::kProve
+                    ? ProveView(name, kind, rest, pending_mutation)
+                    : mode == Mode::kPhysical ? PhysicalView(name, kind, rest)
+                                              : LintView(name, kind, rest);
       pending_mutation = DeltaPlanMutation::kNone;
       if (!ok) ++rejected;
     }
@@ -193,19 +253,21 @@ int Run(const std::vector<std::string>& files, bool prove_delta) {
 }  // namespace xvm
 
 int main(int argc, char** argv) {
-  bool prove_delta = false;
+  xvm::Mode mode = xvm::Mode::kLint;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--prove-delta") {
-      prove_delta = true;
+      mode = xvm::Mode::kProve;
+    } else if (arg == "--physical") {
+      mode = xvm::Mode::kPhysical;
     } else {
       files.push_back(std::move(arg));
     }
   }
   if (files.empty()) {
-    std::cerr << "usage: planlint [--prove-delta] <views-file>...\n";
+    std::cerr << "usage: planlint [--prove-delta|--physical] <views-file>...\n";
     return 2;
   }
-  return xvm::Run(files, prove_delta);
+  return xvm::Run(files, mode);
 }
